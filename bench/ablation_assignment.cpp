@@ -1,0 +1,59 @@
+// Ablation for §3.2.2: the paper adopts modulo assignment and remarks that
+// good general heuristics are hard. This bench quantifies how much the
+// assignment policy matters by comparing cross-host overhead under
+// modulo / block / random / hash placement. Locality-preserving block
+// placement shines on mesh-like graphs (roadnet) and matters little on
+// expander-like social graphs — which is why the paper's simple choice is
+// defensible.
+#include <array>
+#include <iostream>
+
+#include "core/one_to_many.h"
+#include "eval/datasets.h"
+#include "eval/experiments.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace kcore::eval;
+  using kcore::core::AssignmentPolicy;
+  const auto options = ExperimentOptions::from_env();
+  std::cout << "== bench: ablation — node-to-host assignment (§3.2.2) ==\n"
+            << "scale=" << options.scale << " runs=" << options.runs
+            << " hosts=16, point-to-point\n\n";
+
+  const std::array<AssignmentPolicy, 4> policies{
+      AssignmentPolicy::kModulo, AssignmentPolicy::kBlock,
+      AssignmentPolicy::kRandom, AssignmentPolicy::kHash};
+  std::vector<std::string> profiles{"roadnet-like", "amazon-like",
+                                    "slashdot-like", "gnutella-like"};
+  if (options.quick) profiles = {"gnutella-like"};
+
+  kcore::util::TableWriter table(
+      {"profile", "modulo", "block", "random", "hash"});
+  for (const auto& name : profiles) {
+    const auto& spec = dataset_by_name(name);
+    const auto g = spec.build(options.scale, options.base_seed);
+    std::vector<std::string> cells{name};
+    for (const auto policy : policies) {
+      kcore::util::RunningStats overhead;
+      for (int run = 0; run < options.runs; ++run) {
+        kcore::core::OneToManyConfig config;
+        config.num_hosts = 16;
+        config.comm = kcore::core::CommPolicy::kPointToPoint;
+        config.assignment = policy;
+        config.seed = options.base_seed + 200 + static_cast<unsigned>(run);
+        const auto result = kcore::core::run_one_to_many(g, config);
+        overhead.add(result.overhead_per_node);
+      }
+      cells.push_back(kcore::util::fmt_double(overhead.mean(), 3));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: cells are estimates shipped per node (lower is "
+               "better). Block\nplacement exploits locality on mesh-like "
+               "graphs; on expander-like graphs\nall policies are within "
+               "noise of each other.\n";
+  return 0;
+}

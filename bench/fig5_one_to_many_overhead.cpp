@@ -1,0 +1,41 @@
+// Regenerates Figure 5: one-to-many overhead per node as a function of the
+// number of hosts, with a broadcast medium (left) and point-to-point
+// communication (right). The paper sweeps 2..512 hosts on five datasets.
+#include <algorithm>
+#include <array>
+#include <iostream>
+#include <string>
+
+#include "eval/experiments.h"
+#include "util/env.h"
+
+int main() {
+  using namespace kcore::eval;
+  auto options = ExperimentOptions::from_env();
+  // The paper uses 20 experiments for this figure; the sweep is the most
+  // expensive in the harness (9 host counts x 5 profiles x 2 policies), so
+  // the default trims repetitions — set KCORE_RUNS to go full scale.
+  if (!kcore::util::env_string("KCORE_RUNS")) {
+    options.runs = std::min(options.runs, 5);
+  } else if (options.runs > 20) {
+    options.runs = 20;
+  }
+
+  const std::array<std::string, 5> profiles{
+      "astroph-like", "gnutella-like", "slashdot-like", "amazon-like",
+      "berkstan-like"};
+  std::vector<std::uint32_t> hosts{2, 4, 8, 16, 32, 64, 128, 256, 512};
+  if (options.quick) hosts = {2, 8, 32};
+
+  std::cout << "== bench: Figure 5 (one-to-many overhead) ==\n"
+            << "scale=" << options.scale << " runs=" << options.runs << "\n\n";
+  const auto points = run_fig5(options, profiles, hosts);
+  print_fig5(points, std::cout);
+  std::cout
+      << "\nShape checks vs paper:\n"
+      << "  * broadcast overhead stays small (< ~3 estimates per node) and\n"
+      << "    nearly flat in the number of hosts\n"
+      << "  * point-to-point overhead grows with hosts, approaching the\n"
+      << "    one-to-one m_avg regime\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Google-benchmark microkernels: the computational primitives underneath
+// the protocols — computeIndex (Algorithm 2), the sequential baseline [3],
+// a full one-to-one round, and host-side improveEstimate pressure.
+#include <benchmark/benchmark.h>
+
+#include "core/compute_index.h"
+#include "core/one_to_many.h"
+#include "core/one_to_one.h"
+#include "graph/generators.h"
+#include "seq/kcore_seq.h"
+#include "util/rng.h"
+
+namespace {
+
+using kcore::graph::Graph;
+using kcore::graph::NodeId;
+namespace gen = kcore::graph::gen;
+
+void BM_ComputeIndex(benchmark::State& state) {
+  const auto degree = static_cast<std::size_t>(state.range(0));
+  kcore::util::Xoshiro256 rng(1);
+  std::vector<NodeId> estimates(degree);
+  for (auto& e : estimates) {
+    e = static_cast<NodeId>(rng.next_below(degree + 1));
+  }
+  std::vector<NodeId> scratch;
+  const auto k = static_cast<NodeId>(degree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kcore::core::compute_index(estimates, k, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(degree));
+}
+BENCHMARK(BM_ComputeIndex)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_CorenessBZ(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::barabasi_albert(n, 4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kcore::seq::coreness_bz(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_CorenessBZ)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CorenessPeelingOracle(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::barabasi_albert(n, 4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kcore::seq::coreness_peeling(g));
+  }
+}
+BENCHMARK(BM_CorenessPeelingOracle)->Arg(1000)->Arg(10000);
+
+void BM_OneToOneFullRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::barabasi_albert(n, 4, 7);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    kcore::core::OneToOneConfig config;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(kcore::core::run_one_to_one(g, config));
+  }
+}
+BENCHMARK(BM_OneToOneFullRun)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OneToManyFullRun(benchmark::State& state) {
+  const auto hosts = static_cast<kcore::sim::HostId>(state.range(0));
+  const Graph g = gen::barabasi_albert(20000, 4, 7);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    kcore::core::OneToManyConfig config;
+    config.num_hosts = hosts;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(kcore::core::run_one_to_many(g, config));
+  }
+}
+BENCHMARK(BM_OneToManyFullRun)->Arg(1)->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::erdos_renyi_gnm(n, 4ULL * n, 7));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4 * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GraphBuild)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Scaling study (implied by §4/§5): how does the measured execution time
+// grow with graph size, compared to the Theorem 5 bound of N? On
+// realistic graph families convergence time is driven by structure
+// (effective diameter / error depth), not by N — rounds grow only
+// logarithmically-to-mildly while the bound grows linearly. The worst-
+// case family is included as the linear-growth counterpoint.
+#include <iostream>
+
+#include "core/one_to_one.h"
+#include "eval/experiments.h"
+#include "graph/generators.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace kcore;
+  const auto options = eval::ExperimentOptions::from_env();
+  const int runs = std::min(options.runs, 5);
+  std::cout << "== bench: scaling study — rounds vs graph size ==\n"
+            << "runs=" << runs << " per point (cycle-driven, optimized)\n\n";
+
+  util::TableWriter table(
+      {"family", "N", "t_avg", "Thm5 bound (N)", "t/N"});
+  std::vector<graph::NodeId> sizes{2000, 8000, 32000, 128000};
+  if (options.quick) sizes = {2000, 8000};
+  for (const graph::NodeId n : sizes) {
+    for (const char* family : {"er", "ba"}) {
+      util::RunningStats t_stats;
+      for (int run = 0; run < runs; ++run) {
+        const auto seed =
+            options.base_seed + 10 * static_cast<unsigned>(run);
+        const graph::Graph g =
+            family[0] == 'e'
+                ? graph::gen::erdos_renyi_gnm(n, 3ULL * n, seed)
+                : graph::gen::barabasi_albert(n, 3, seed);
+        core::OneToOneConfig config;
+        config.seed = seed + 1;
+        const auto result = core::run_one_to_one(g, config);
+        t_stats.add(static_cast<double>(result.traffic.execution_time));
+      }
+      table.add_row({family, util::fmt_grouped(n),
+                     util::fmt_double(t_stats.mean(), 1),
+                     util::fmt_grouped(n),
+                     util::fmt_double(t_stats.mean() /
+                                          static_cast<double>(n),
+                                      5)});
+    }
+  }
+  // The adversarial counterpoint: linear in N by construction.
+  for (const graph::NodeId n : {512U, 1024U, 2048U}) {
+    const auto g = graph::gen::montresor_worst_case(n);
+    core::OneToOneConfig config;
+    config.mode = sim::DeliveryMode::kSynchronous;
+    config.targeted_send = false;
+    const auto result = core::run_one_to_one(g, config);
+    table.add_row({"worst-case", util::fmt_grouped(n),
+                   std::to_string(result.traffic.rounds_executed),
+                   util::fmt_grouped(n),
+                   util::fmt_double(
+                       static_cast<double>(result.traffic.rounds_executed) /
+                           static_cast<double>(n),
+                       5)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: on random families t/N collapses toward zero as "
+               "N grows (the\npaper's \"graphs with millions of nodes "
+               "converge in less than one hundred\nrounds\"), while the "
+               "Fig. 3 family pins t/N ~ 1.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Termination option 3 (§3.3 / §5.1): run for a fixed number of rounds and
+// accept an approximate decomposition. The paper observes that "after very
+// few rounds the estimate error is extremely low"; this example makes that
+// trade-off concrete on a slow-converging mesh-like graph.
+#include <iostream>
+
+#include "core/termination.h"
+#include "graph/generators.h"
+#include "util/table.h"
+
+int main() {
+  using namespace kcore;
+  // A mesh with shortcuts: full convergence takes ~hundred rounds, but the
+  // error collapses almost immediately.
+  graph::Graph g = graph::gen::grid(200, 200);
+  g = graph::gen::add_random_edges(g, 200, 7);
+  std::cout << "graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges (grid + shortcuts)\n\n";
+
+  core::OneToOneConfig config;
+  config.seed = 9;
+  {
+    // Reference: full convergence.
+    const auto full = core::run_one_to_one(g, config);
+    std::cout << "full convergence: " << full.traffic.execution_time
+              << " rounds\n\n";
+  }
+
+  util::TableWriter table(
+      {"rounds", "avg error", "max error", "fraction exact"});
+  for (const std::uint64_t rounds : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const auto approx = core::approximate_coreness(g, rounds, config);
+    table.add_row({std::to_string(rounds),
+                   util::fmt_double(approx.avg_error, 4),
+                   std::to_string(approx.max_error),
+                   util::fmt_double(approx.fraction_exact * 100, 2) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nEstimates are always upper bounds (Theorem 2), so an "
+               "early stop yields a\nsafe approximation — good enough for "
+               "spreader selection long before exact\nconvergence.\n";
+  return 0;
+}

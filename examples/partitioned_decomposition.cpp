@@ -1,0 +1,58 @@
+// One-to-many scenario (§1): a graph too large for one machine is spread
+// over a cluster of hosts; each host runs Algorithm 3 on behalf of its
+// node partition. This example decomposes a 100k-node social-style graph
+// on 16 simulated hosts and compares the two §3.2.1 communication
+// policies plus the effect of the assignment policy.
+#include <iostream>
+
+#include "core/one_to_many.h"
+#include "graph/generators.h"
+#include "seq/kcore_seq.h"
+#include "util/table.h"
+
+int main() {
+  using namespace kcore;
+  graph::Graph g = graph::gen::barabasi_albert(100000, 4, 21);
+  g = graph::gen::plant_dense_core(g, 300, 40, 22);
+  std::cout << "partitioned graph: " << g.num_nodes() << " nodes, "
+            << g.num_edges() << " edges, 16 hosts\n\n";
+
+  const auto truth = seq::coreness_bz(g);
+  const auto summary = seq::summarize_coreness(truth);
+  std::cout << "ground truth: k_max=" << summary.k_max
+            << " k_avg=" << util::fmt_double(summary.k_avg) << "\n\n";
+
+  util::TableWriter table({"comm policy", "assignment", "rounds",
+                           "estimates shipped", "per node", "exact"});
+  for (const auto comm :
+       {core::CommPolicy::kBroadcast, core::CommPolicy::kPointToPoint}) {
+    for (const auto assignment :
+         {core::AssignmentPolicy::kModulo, core::AssignmentPolicy::kBlock}) {
+      core::OneToManyConfig config;
+      config.num_hosts = 16;
+      config.comm = comm;
+      config.assignment = assignment;
+      config.seed = 5;
+      const auto result = core::run_one_to_many(g, config);
+      table.add_row(
+          {core::to_string(comm), core::to_string(assignment),
+           std::to_string(result.traffic.execution_time),
+           std::to_string(result.estimates_shipped_total),
+           util::fmt_double(result.overhead_per_node, 3),
+           result.coreness == truth ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  // Host load balance for the paper's modulo policy.
+  core::OneToManyConfig config;
+  config.num_hosts = 16;
+  config.seed = 5;
+  const auto result = core::run_one_to_many(g, config);
+  std::cout << "\nper-host estimates shipped (modulo, point-to-point):\n  ";
+  for (const auto v : result.estimates_shipped_by_host) std::cout << v << " ";
+  std::cout << "\n\nWith a broadcast medium each changed estimate is sent "
+               "once per flush —\nthe overhead per node stays tiny, which "
+               "is the Figure 5 (left) story.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Graph fingerprinting via k-core shells (the paper's visualization
+// application [1]): decompose a graph and emit a GraphViz DOT file with
+// onion-layer coloring, plus a textual shell-size histogram.
+//
+// Run: build/examples/visualize_shells [out.dot]
+#include <iostream>
+#include <string>
+
+#include "graph/dot_export.h"
+#include "graph/generators.h"
+#include "seq/kcore_seq.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace kcore;
+  const std::string out_path = argc > 1 ? argv[1] : "shells.dot";
+
+  // A graph with visible onion structure: BA skeleton + planted nucleus.
+  graph::Graph g = graph::gen::barabasi_albert(600, 2, 5);
+  g = graph::gen::plant_dense_core(g, 40, 12, 6);
+
+  const auto coreness = seq::coreness_bz(g);
+  const auto summary = seq::summarize_coreness(coreness);
+
+  std::cout << "graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges, k_max=" << summary.k_max << "\n\n";
+  util::TableWriter table({"shell", "nodes", "bar"});
+  for (std::size_t k = 0; k < summary.shell_sizes.size(); ++k) {
+    if (summary.shell_sizes[k] == 0) continue;
+    const auto bar_len = std::min<std::size_t>(
+        60, summary.shell_sizes[k] * 60 / g.num_nodes() + 1);
+    table.add_row({std::to_string(k),
+                   std::to_string(summary.shell_sizes[k]),
+                   std::string(bar_len, '#')});
+  }
+  table.print(std::cout);
+
+  graph::write_dot_file(out_path, g, coreness);
+  std::cout << "\nwrote " << out_path
+            << " — render with: fdp -Tsvg " << out_path
+            << " -o shells.svg\n";
+  return 0;
+}

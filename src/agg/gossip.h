@@ -1,0 +1,152 @@
+// Epidemic (gossip) aggregation — the paper's reference [6] substrate.
+//
+// §3.3 proposes detecting termination with "epidemic protocols for
+// aggregation [that] enable the decentralized computation of global
+// properties in O(log |H|) rounds". Two protocols are provided:
+//
+//  * MaxGossipHost — push gossip with stale-reply: every round each host
+//    pushes its current maximum to one uniformly random overlay neighbor;
+//    a receiver holding a larger value pushes back. Converges to the
+//    global maximum in O(log H) rounds on well-connected overlays. Hosts
+//    go quiet after `quiet_window` rounds without change, so the engine's
+//    quiescence detection terminates the run.
+//
+//  * PushSumHost — Kempe-style push-sum averaging: each host maintains a
+//    (value, weight) pair, keeps half and pushes half each round. The sum
+//    of values and of weights over all hosts is invariant (mass
+//    conservation — property-tested), and value/weight converges to the
+//    global average everywhere.
+//
+// Both plug into sim::Engine like the k-core protocols.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "graph/graph.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace kcore::agg {
+
+/// Push(-back) gossip maximum aggregation over an overlay graph.
+class MaxGossipHost {
+ public:
+  using Message = std::uint64_t;
+
+  MaxGossipHost(const graph::Graph* overlay, sim::HostId self,
+                std::uint64_t initial_value, std::uint32_t quiet_window,
+                std::uint64_t seed)
+      : overlay_(overlay),
+        self_(self),
+        value_(initial_value),
+        quiet_window_(quiet_window),
+        rng_(util::SplitMix64(seed ^ (0x9e3779b97f4a7c15ULL * (self + 1)))
+                 .next()) {
+    KCORE_CHECK_MSG(quiet_window_ >= 1, "quiet window must be >= 1");
+  }
+
+  void on_message(sim::HostId from, const Message& m) {
+    if (m > value_) {
+      value_ = m;
+      rounds_since_change_ = 0;
+    } else if (m < value_) {
+      // Stale sender: schedule a corrective push back (pull half).
+      reply_to_ = from;
+    }
+  }
+
+  void on_round(sim::Context<Message>& ctx) {
+    const auto nbrs = overlay_->neighbors(self_);
+    if (nbrs.empty()) return;
+    if (reply_to_ != sim::HostId(-1)) {
+      ctx.send(reply_to_, value_);
+      reply_to_ = sim::HostId(-1);
+    }
+    if (rounds_since_change_ < quiet_window_) {
+      const auto peer = nbrs[rng_.next_below(nbrs.size())];
+      ctx.send(peer, value_);
+      ++rounds_since_change_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] bool quiet() const noexcept {
+    return rounds_since_change_ >= quiet_window_;
+  }
+
+ private:
+  const graph::Graph* overlay_;
+  sim::HostId self_;
+  std::uint64_t value_;
+  std::uint32_t quiet_window_;
+  std::uint32_t rounds_since_change_ = 0;
+  sim::HostId reply_to_ = sim::HostId(-1);
+  util::Xoshiro256 rng_;
+};
+
+/// Push-sum averaging (value, weight) host.
+class PushSumHost {
+ public:
+  struct Share {
+    double value = 0.0;
+    double weight = 0.0;
+  };
+  using Message = Share;
+
+  PushSumHost(const graph::Graph* overlay, sim::HostId self,
+              double initial_value, double epsilon, std::uint32_t quiet_window,
+              std::uint64_t seed)
+      : overlay_(overlay),
+        self_(self),
+        value_(initial_value),
+        weight_(1.0),
+        epsilon_(epsilon),
+        quiet_window_(quiet_window),
+        rng_(util::SplitMix64(seed ^ (0xbf58476d1ce4e5b9ULL * (self + 1)))
+                 .next()) {}
+
+  void on_message(sim::HostId /*from*/, const Message& m) {
+    value_ += m.value;
+    weight_ += m.weight;
+  }
+
+  void on_round(sim::Context<Message>& ctx) {
+    const auto nbrs = overlay_->neighbors(self_);
+    if (nbrs.empty()) return;
+    const double current = estimate();
+    if (std::abs(current - last_estimate_) < epsilon_) {
+      ++stable_rounds_;
+    } else {
+      stable_rounds_ = 0;
+    }
+    last_estimate_ = current;
+    if (stable_rounds_ >= quiet_window_) return;  // converged locally
+    // Keep half, push half.
+    const Share out{value_ / 2.0, weight_ / 2.0};
+    value_ /= 2.0;
+    weight_ /= 2.0;
+    const auto peer = nbrs[rng_.next_below(nbrs.size())];
+    ctx.send(peer, out);
+  }
+
+  /// Current average estimate value/weight.
+  [[nodiscard]] double estimate() const noexcept {
+    return weight_ > 0.0 ? value_ / weight_ : 0.0;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+
+ private:
+  const graph::Graph* overlay_;
+  sim::HostId self_;
+  double value_;
+  double weight_;
+  double epsilon_;
+  std::uint32_t quiet_window_;
+  std::uint32_t stable_rounds_ = 0;
+  double last_estimate_ = -1.0e300;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace kcore::agg

@@ -1,0 +1,29 @@
+#include "agg/peer_sampling.h"
+
+namespace kcore::agg {
+
+PeerSamplingResult run_peer_sampling(sim::HostId num_hosts,
+                                     std::size_t view_size,
+                                     std::uint64_t rounds,
+                                     std::uint64_t seed) {
+  KCORE_CHECK_MSG(num_hosts >= 3, "need at least 3 hosts");
+  std::vector<PeerSamplingHost> hosts;
+  hosts.reserve(num_hosts);
+  for (sim::HostId h = 0; h < num_hosts; ++h) {
+    // Ring bootstrap: successor and predecessor.
+    std::vector<sim::HostId> bootstrap{
+        (h + 1) % num_hosts, (h + num_hosts - 1) % num_hosts};
+    hosts.emplace_back(h, view_size, std::move(bootstrap), seed);
+  }
+  sim::EngineConfig config;
+  config.mode = sim::DeliveryMode::kCycleRandomOrder;
+  config.seed = seed;
+  config.max_rounds = rounds;  // shuffling never quiesces on its own
+  sim::Engine<PeerSamplingHost> engine(std::move(hosts), config);
+  PeerSamplingResult result;
+  result.traffic = engine.run();
+  result.hosts = std::move(engine.hosts());
+  return result;
+}
+
+}  // namespace kcore::agg

@@ -1,0 +1,148 @@
+// Gossip-based peer sampling (view shuffling), the substrate assumed by
+// the epidemic aggregation protocols of [6].
+//
+// Each host keeps a small partial view of (peer, age) descriptors. Every
+// round it ages its view, picks the oldest-known peer, and swaps half of
+// its view with it; both sides keep the freshest unique descriptors. The
+// emergent communication graph is a continually-reshuffled random-ish
+// overlay: degree stays bounded by the view size, yet samples drawn from
+// the view over time cover the whole network — exactly the service
+// random peer selection in gossip aggregation needs. (Jelasity et al.,
+// "Gossip-based peer sampling", TOCS 2007 — shuffle/healer variant.)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace kcore::agg {
+
+/// One view entry: a peer and how stale our knowledge of it is.
+struct PeerDescriptor {
+  sim::HostId peer = 0;
+  std::uint32_t age = 0;
+};
+
+/// A host running the shuffle protocol.
+class PeerSamplingHost {
+ public:
+  using Message = std::vector<PeerDescriptor>;
+
+  /// `bootstrap` seeds the initial view (e.g. ring neighbors).
+  PeerSamplingHost(sim::HostId self, std::size_t view_size,
+                   std::vector<sim::HostId> bootstrap, std::uint64_t seed)
+      : self_(self),
+        view_size_(view_size),
+        rng_(util::SplitMix64(seed ^ (0x2545f4914f6cdd1dULL * (self + 1)))
+                 .next()) {
+    KCORE_CHECK_MSG(view_size_ >= 2, "view size must be >= 2");
+    for (const sim::HostId p : bootstrap) {
+      if (p != self_) view_.push_back({p, 0});
+    }
+    truncate();
+  }
+
+  void on_message(sim::HostId from, const Message& m) {
+    merge(m);
+    if (!replied_to_.empty() && replied_to_.back() == from) return;
+    // Reply with our half-view to complete the swap (push-pull), at most
+    // once per round per partner.
+    reply_pending_ = from;
+  }
+
+  void on_round(sim::Context<Message>& ctx) {
+    if (reply_pending_ != sim::HostId(-1)) {
+      ctx.send(reply_pending_, make_exchange());
+      replied_to_.push_back(reply_pending_);
+      if (replied_to_.size() > 4) replied_to_.erase(replied_to_.begin());
+      reply_pending_ = sim::HostId(-1);
+    }
+    if (view_.empty()) return;
+    for (auto& d : view_) ++d.age;
+    // Contact the oldest descriptor (healer strategy).
+    const auto oldest = std::max_element(
+        view_.begin(), view_.end(),
+        [](const PeerDescriptor& a, const PeerDescriptor& b) {
+          return a.age < b.age;
+        });
+    const sim::HostId target = oldest->peer;
+    // Drop the contacted descriptor (it is refreshed by the reply).
+    view_.erase(oldest);
+    ctx.send(target, make_exchange());
+  }
+
+  [[nodiscard]] const std::vector<PeerDescriptor>& view() const noexcept {
+    return view_;
+  }
+
+  /// A uniform-ish random peer from the current view (the service the
+  /// aggregation layer consumes); self when the view is empty.
+  [[nodiscard]] sim::HostId sample_peer() {
+    if (view_.empty()) return self_;
+    return view_[rng_.next_below(view_.size())].peer;
+  }
+
+ private:
+  /// Half of the view (randomly chosen) plus a fresh self-descriptor.
+  Message make_exchange() {
+    Message out;
+    out.push_back({self_, 0});
+    if (!view_.empty()) {
+      auto copy = view_;
+      util::shuffle(copy, rng_);
+      const std::size_t half = std::max<std::size_t>(1, copy.size() / 2);
+      for (std::size_t i = 0; i < half && i < copy.size(); ++i) {
+        out.push_back(copy[i]);
+      }
+    }
+    return out;
+  }
+
+  void merge(const Message& incoming) {
+    for (const PeerDescriptor& d : incoming) {
+      if (d.peer == self_) continue;
+      const auto it = std::find_if(
+          view_.begin(), view_.end(),
+          [&](const PeerDescriptor& e) { return e.peer == d.peer; });
+      if (it == view_.end()) {
+        view_.push_back(d);
+      } else if (d.age < it->age) {
+        it->age = d.age;
+      }
+    }
+    truncate();
+  }
+
+  /// Keep the freshest view_size_ descriptors.
+  void truncate() {
+    std::sort(view_.begin(), view_.end(),
+              [](const PeerDescriptor& a, const PeerDescriptor& b) {
+                return a.age < b.age;
+              });
+    if (view_.size() > view_size_) view_.resize(view_size_);
+  }
+
+  sim::HostId self_;
+  std::size_t view_size_;
+  std::vector<PeerDescriptor> view_;
+  sim::HostId reply_pending_ = sim::HostId(-1);
+  std::vector<sim::HostId> replied_to_;
+  util::Xoshiro256 rng_;
+};
+
+/// Drive `rounds` rounds of shuffling over `num_hosts` hosts bootstrapped
+/// from a ring, returning the final hosts for inspection.
+struct PeerSamplingResult {
+  std::vector<PeerSamplingHost> hosts;
+  sim::TrafficStats traffic;
+};
+
+[[nodiscard]] PeerSamplingResult run_peer_sampling(sim::HostId num_hosts,
+                                                   std::size_t view_size,
+                                                   std::uint64_t rounds,
+                                                   std::uint64_t seed);
+
+}  // namespace kcore::agg

@@ -1,0 +1,81 @@
+#include "agg/termination.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "agg/gossip.h"
+#include "util/check.h"
+
+namespace kcore::agg {
+
+graph::Graph build_host_overlay(const graph::Graph& g,
+                                const std::vector<sim::HostId>& owner,
+                                sim::HostId num_hosts) {
+  KCORE_CHECK(owner.size() == g.num_nodes());
+  std::unordered_set<std::uint64_t> seen;
+  graph::GraphBuilder b(num_hosts);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const sim::HostId hu = owner[u];
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const sim::HostId hv = owner[v];
+      if (hu == hv) continue;
+      sim::HostId a = hu;
+      sim::HostId c = hv;
+      if (a > c) std::swap(a, c);
+      const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | c;
+      if (seen.insert(key).second) b.add_edge(a, c);
+    }
+  }
+  return b.build();
+}
+
+GossipTerminationResult gossip_termination(
+    const graph::Graph& overlay,
+    const std::vector<std::uint64_t>& last_active_round,
+    const GossipTerminationConfig& config) {
+  KCORE_CHECK(last_active_round.size() == overlay.num_nodes());
+  KCORE_CHECK_MSG(overlay.num_nodes() >= 1, "overlay must be non-empty");
+
+  const std::uint64_t true_max = *std::max_element(last_active_round.begin(),
+                                                   last_active_round.end());
+
+  std::vector<MaxGossipHost> hosts;
+  hosts.reserve(overlay.num_nodes());
+  for (sim::HostId h = 0; h < overlay.num_nodes(); ++h) {
+    hosts.emplace_back(&overlay, h, last_active_round[h],
+                       config.quiet_window, config.seed);
+  }
+
+  sim::EngineConfig engine_config;
+  engine_config.mode = sim::DeliveryMode::kCycleRandomOrder;
+  engine_config.seed = config.seed;
+  engine_config.max_rounds = config.max_rounds;
+
+  sim::Engine<MaxGossipHost> engine(std::move(hosts), engine_config);
+
+  GossipTerminationResult result;
+  std::uint64_t first_all_max = 0;
+  auto observer = [&](std::uint64_t round,
+                      const std::vector<MaxGossipHost>& hs) {
+    if (first_all_max != 0) return;
+    const bool all_max = std::all_of(
+        hs.begin(), hs.end(),
+        [&](const MaxGossipHost& h) { return h.value() == true_max; });
+    if (all_max) first_all_max = round;
+  };
+  const auto traffic = engine.run(observer);
+
+  result.control_messages = traffic.total_messages;
+  result.rounds_to_converge = first_all_max;
+  result.rounds_to_detect = first_all_max + config.quiet_window;
+  result.converged =
+      first_all_max != 0 &&
+      std::all_of(engine.hosts().begin(), engine.hosts().end(),
+                  [&](const MaxGossipHost& h) {
+                    return h.value() == true_max;
+                  });
+  return result;
+}
+
+}  // namespace kcore::agg

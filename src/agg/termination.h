@@ -1,0 +1,53 @@
+// Decentralized termination detection via gossip max-aggregation (§3.3).
+//
+// After (or alongside) a k-core run, every host knows the last round in
+// which it generated a new estimate. Gossiping the maximum of these values
+// lets every host learn the global "last activity round"; once a host's
+// view of that maximum has been stable for a confirmation window it can
+// conclude the decomposition protocol has terminated and start using the
+// computed coreness. This module simulates that detector on a host
+// overlay and reports convergence/detection rounds and control traffic —
+// the O(log |H|) behaviour is checked in tests and measured in
+// bench/ablation_termination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/engine.h"
+
+namespace kcore::agg {
+
+/// Build the host-overlay graph induced by a node->host assignment: hosts
+/// x != y are adjacent iff some graph edge joins V(x) and V(y). This is
+/// exactly the neighborH() relation of §2.
+[[nodiscard]] graph::Graph build_host_overlay(
+    const graph::Graph& g, const std::vector<sim::HostId>& owner,
+    sim::HostId num_hosts);
+
+struct GossipTerminationConfig {
+  /// Rounds a host waits without observing a larger maximum before it
+  /// concludes termination.
+  std::uint32_t quiet_window = 8;
+  std::uint64_t seed = 1;
+  std::uint64_t max_rounds = 100000;
+};
+
+struct GossipTerminationResult {
+  /// First gossip round at which every host holds the true global maximum.
+  std::uint64_t rounds_to_converge = 0;
+  /// rounds_to_converge + quiet window: when the last host declares done.
+  std::uint64_t rounds_to_detect = 0;
+  std::uint64_t control_messages = 0;
+  bool converged = false;
+};
+
+/// Simulate the detector: hosts start with their own last-activity round
+/// and gossip the max over `overlay`.
+[[nodiscard]] GossipTerminationResult gossip_termination(
+    const graph::Graph& overlay,
+    const std::vector<std::uint64_t>& last_active_round,
+    const GossipTerminationConfig& config);
+
+}  // namespace kcore::agg

@@ -1,0 +1,235 @@
+// A miniature Pregel: bulk-synchronous vertex-centric computation.
+//
+// The paper's conclusion names Pregel [9] (and MapReduce [4]) as the
+// intended deployment vehicle: "the computation is divided in logical
+// units ... divided among a collection of computational processes, termed
+// workers". This module implements that model faithfully enough to run
+// the k-core decomposition as a vertex program (core/pregel_kcore.h) and
+// to measure what the framework buys (combiners!) and costs:
+//
+//  * supersteps with a global barrier (BSP);
+//  * vertex programs with compute(), vote_to_halt(), message passing
+//    along out-edges;
+//  * workers owning partitions of vertices (assignment policies reused
+//    from core/assignment.h);
+//  * optional message combiners — for k-core the MIN combiner collapses
+//    all estimates headed to the same vertex into one message, the same
+//    idea as Algorithm 3's host-local batching;
+//  * aggregators (sum/min/max reduced across all vertices each
+//    superstep, available to every vertex in the next one) — used for
+//    termination statistics.
+//
+// Everything is deterministic: workers are simulated sequentially in a
+// fixed order; there is no wall-clock nondeterminism to leak into
+// results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace kcore::bsp {
+
+using graph::Graph;
+using graph::NodeId;
+using WorkerId = sim::HostId;
+
+/// Statistics for one finished BSP run.
+struct BspStats {
+  std::uint64_t supersteps = 0;
+  /// Messages emitted by vertex programs (before combining).
+  std::uint64_t messages_emitted = 0;
+  /// Messages actually delivered after per-(worker,target) combining.
+  std::uint64_t messages_delivered = 0;
+  /// Cross-worker deliveries (the expensive kind in a real deployment).
+  std::uint64_t messages_cross_worker = 0;
+  bool converged = false;
+};
+
+/// Requirements on a vertex program:
+///
+///   struct Program {
+///     using Message = ...;                 // copyable
+///     using Value = ...;                   // per-vertex state
+///     // Optional combiner: fold two messages headed for one vertex.
+///     static Message combine(const Message&, const Message&);
+///     void init(VertexContext&, Value&);   // superstep 0, no messages
+///     void compute(VertexContext&, Value&, std::span<const Message>);
+///   };
+///
+/// Programs without a combiner omit `combine`; detection is via concept.
+template <typename P>
+concept HasCombiner = requires(const typename P::Message& a,
+                               const typename P::Message& b) {
+  { P::combine(a, b) } -> std::convertible_to<typename P::Message>;
+};
+
+/// Context passed to a vertex's compute(); sends target neighbors by
+/// adjacency index or any vertex by id.
+template <typename Message>
+class VertexContext {
+ public:
+  VertexContext(NodeId self, const Graph* g, std::uint64_t superstep)
+      : self_(self), graph_(g), superstep_(superstep) {}
+
+  [[nodiscard]] NodeId vertex() const noexcept { return self_; }
+  [[nodiscard]] std::uint64_t superstep() const noexcept {
+    return superstep_;
+  }
+  [[nodiscard]] std::span<const NodeId> neighbors() const {
+    return graph_->neighbors(self_);
+  }
+  [[nodiscard]] NodeId degree() const { return graph_->degree(self_); }
+
+  /// Queue a message for delivery in the next superstep.
+  void send(NodeId to, Message m) { outbox_.push_back({to, std::move(m)}); }
+
+  /// Send the same message to every neighbor.
+  void send_to_neighbors(const Message& m) {
+    for (const NodeId v : neighbors()) outbox_.push_back({v, m});
+  }
+
+  /// Ask to be deactivated; the vertex is revived by any incoming message.
+  void vote_to_halt() noexcept { halted_ = true; }
+
+  // Engine-facing access (public rather than friend-templated to keep the
+  // header readable; user programs have no reason to touch these).
+  struct Outgoing {
+    NodeId to;
+    Message payload;
+  };
+  [[nodiscard]] std::vector<Outgoing>& outbox() noexcept { return outbox_; }
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+ private:
+  NodeId self_;
+  const Graph* graph_;
+  std::uint64_t superstep_;
+  std::vector<Outgoing> outbox_;
+  bool halted_ = false;
+};
+
+/// The BSP engine: runs a vertex program over all nodes of a graph with
+/// the given worker assignment until every vertex has halted and no
+/// messages are in flight (Pregel's termination condition).
+template <typename Program>
+class PregelEngine {
+ public:
+  using Message = typename Program::Message;
+  using Value = typename Program::Value;
+
+  PregelEngine(const Graph* g, std::vector<WorkerId> owner,
+               WorkerId num_workers, Program program = Program{})
+      : graph_(g),
+        owner_(std::move(owner)),
+        num_workers_(num_workers),
+        program_(program) {
+    KCORE_CHECK_MSG(owner_.size() == g->num_nodes(),
+                    "owner vector size mismatch");
+    KCORE_CHECK_MSG(num_workers_ >= 1, "need at least one worker");
+    values_.resize(g->num_nodes());
+    active_.assign(g->num_nodes(), true);
+    inbox_.resize(g->num_nodes());
+    next_inbox_.resize(g->num_nodes());
+  }
+
+  /// Run to termination (or the superstep cap). Returns statistics;
+  /// values() affords access to the final vertex states.
+  BspStats run(std::uint64_t max_supersteps = 1000000) {
+    BspStats stats;
+    // Superstep 0: init, no messages.
+    for (NodeId u = 0; u < graph_->num_nodes(); ++u) {
+      VertexContext<Message> ctx(u, graph_, 0);
+      program_.init(ctx, values_[u]);
+      flush(u, ctx, stats);
+    }
+    ++stats.supersteps;
+    swap_inboxes();
+
+    while (stats.supersteps < max_supersteps) {
+      bool any_active = false;
+      for (NodeId u = 0; u < graph_->num_nodes(); ++u) {
+        if (!active_[u] && inbox_[u].empty()) continue;
+        any_active = true;
+        active_[u] = true;  // message receipt revives a halted vertex
+        VertexContext<Message> ctx(u, graph_, stats.supersteps);
+        program_.compute(ctx, values_[u], inbox_[u]);
+        inbox_[u].clear();
+        flush(u, ctx, stats);
+      }
+      if (!any_active) {
+        stats.converged = true;
+        break;
+      }
+      ++stats.supersteps;
+      swap_inboxes();
+    }
+    return stats;
+  }
+
+  [[nodiscard]] std::span<const Value> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] WorkerId num_workers() const noexcept { return num_workers_; }
+
+ private:
+  void flush(NodeId u, VertexContext<Message>& ctx, BspStats& stats) {
+    stats.messages_emitted += ctx.outbox().size();
+    for (auto& out : ctx.outbox()) {
+      KCORE_DCHECK(out.to < graph_->num_nodes());
+      deliver(u, out.to, std::move(out.payload), stats);
+    }
+    active_[u] = !ctx.halted();
+  }
+
+  void deliver(NodeId from, NodeId to, Message&& m, BspStats& stats) {
+    auto& box = next_inbox_[to];
+    if constexpr (HasCombiner<Program>) {
+      // Pregel combiners fold messages per (origin worker, target): one
+      // physical message per worker per target per superstep. The folded
+      // value is kept in a single slot (valid for associative/commutative
+      // combiners); the traffic accounting below still charges one
+      // delivery per distinct origin worker.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(owner_[from]) << 32) | to;
+      if (combined_this_step_.insert(key).second) {
+        ++stats.messages_delivered;
+        if (owner_[from] != owner_[to]) ++stats.messages_cross_worker;
+      }
+      if (!box.empty()) {
+        box.front() = Program::combine(box.front(), m);
+      } else {
+        box.push_back(std::move(m));
+      }
+      return;
+    } else {
+      box.push_back(std::move(m));
+      ++stats.messages_delivered;
+      if (owner_[from] != owner_[to]) ++stats.messages_cross_worker;
+    }
+  }
+
+  void swap_inboxes() {
+    inbox_.swap(next_inbox_);
+    for (auto& box : next_inbox_) box.clear();
+    combined_this_step_.clear();
+  }
+
+  const Graph* graph_;
+  std::vector<WorkerId> owner_;
+  WorkerId num_workers_;
+  Program program_;
+  std::vector<Value> values_;
+  std::vector<bool> active_;
+  std::vector<std::vector<Message>> inbox_;
+  std::vector<std::vector<Message>> next_inbox_;
+  std::unordered_set<std::uint64_t> combined_this_step_;
+};
+
+}  // namespace kcore::bsp

@@ -1,0 +1,103 @@
+// Stock vertex programs for the mini-Pregel engine.
+//
+// Besides validating the framework against independently-implemented
+// answers (graph/stats BFS and components), these are the programs used
+// by bench/ablation_bsp to demonstrate what combiners buy: label
+// propagation and hop-distance both admit a MIN combiner, so all messages
+// from one worker to one target vertex collapse into a single delivery.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "bsp/pregel.h"
+
+namespace kcore::bsp {
+
+/// Connected components by minimum-label flooding: every vertex adopts
+/// the smallest vertex id seen in its component; converges in O(diameter)
+/// supersteps. MIN-combinable.
+struct MinLabelProgram {
+  using Message = NodeId;
+  struct Value {
+    NodeId label = 0;
+  };
+
+  static Message combine(const Message& a, const Message& b) {
+    return std::min(a, b);
+  }
+
+  void init(VertexContext<Message>& ctx, Value& value) {
+    value.label = ctx.vertex();
+    ctx.send_to_neighbors(value.label);
+    ctx.vote_to_halt();
+  }
+
+  void compute(VertexContext<Message>& ctx, Value& value,
+               std::span<const Message> messages) {
+    NodeId best = value.label;
+    for (const Message& m : messages) best = std::min(best, m);
+    if (best < value.label) {
+      value.label = best;
+      ctx.send_to_neighbors(best);
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+/// Single-source hop distances (BFS via message waves). MIN-combinable.
+struct HopDistanceProgram {
+  using Message = std::uint32_t;
+  struct Value {
+    std::uint32_t distance = std::numeric_limits<std::uint32_t>::max();
+  };
+
+  NodeId source = 0;
+
+  static Message combine(const Message& a, const Message& b) {
+    return std::min(a, b);
+  }
+
+  void init(VertexContext<Message>& ctx, Value& value) {
+    if (ctx.vertex() == source) {
+      value.distance = 0;
+      ctx.send_to_neighbors(1);
+    }
+    ctx.vote_to_halt();
+  }
+
+  void compute(VertexContext<Message>& ctx, Value& value,
+               std::span<const Message> messages) {
+    Message best = std::numeric_limits<std::uint32_t>::max();
+    for (const Message& m : messages) best = std::min(best, m);
+    if (best < value.distance) {
+      value.distance = best;
+      ctx.send_to_neighbors(best + 1);
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+/// Degree-sum sanity program (one superstep of neighbor degree exchange);
+/// exists mainly to exercise programs WITHOUT a combiner in tests.
+struct NeighborDegreeSumProgram {
+  using Message = std::uint64_t;
+  struct Value {
+    std::uint64_t sum = 0;
+  };
+
+  void init(VertexContext<Message>& ctx, Value&) {
+    ctx.send_to_neighbors(ctx.degree());
+    ctx.vote_to_halt();
+  }
+
+  void compute(VertexContext<Message>& ctx, Value& value,
+               std::span<const Message> messages) {
+    for (const Message& m : messages) value.sum += m;
+    ctx.vote_to_halt();
+  }
+};
+
+}  // namespace kcore::bsp

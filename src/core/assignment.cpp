@@ -1,0 +1,62 @@
+#include "core/assignment.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace kcore::core {
+
+const char* to_string(AssignmentPolicy policy) {
+  switch (policy) {
+    case AssignmentPolicy::kModulo:
+      return "modulo";
+    case AssignmentPolicy::kBlock:
+      return "block";
+    case AssignmentPolicy::kRandom:
+      return "random";
+    case AssignmentPolicy::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+std::vector<sim::HostId> assign_nodes(graph::NodeId num_nodes,
+                                      sim::HostId num_hosts,
+                                      AssignmentPolicy policy,
+                                      std::uint64_t seed) {
+  KCORE_CHECK_MSG(num_hosts >= 1, "need at least one host");
+  std::vector<sim::HostId> owner(num_nodes);
+  switch (policy) {
+    case AssignmentPolicy::kModulo:
+      for (graph::NodeId u = 0; u < num_nodes; ++u) {
+        owner[u] = u % num_hosts;
+      }
+      break;
+    case AssignmentPolicy::kBlock: {
+      // Evenly sized contiguous ranges (first `rem` blocks one node larger).
+      const graph::NodeId base = num_nodes / num_hosts;
+      const graph::NodeId rem = num_nodes % num_hosts;
+      graph::NodeId u = 0;
+      for (sim::HostId h = 0; h < num_hosts && u < num_nodes; ++h) {
+        const graph::NodeId size = base + (h < rem ? 1 : 0);
+        for (graph::NodeId i = 0; i < size; ++i) owner[u++] = h;
+      }
+      break;
+    }
+    case AssignmentPolicy::kRandom: {
+      util::Xoshiro256 rng(seed);
+      for (graph::NodeId u = 0; u < num_nodes; ++u) {
+        owner[u] = static_cast<sim::HostId>(rng.next_below(num_hosts));
+      }
+      break;
+    }
+    case AssignmentPolicy::kHash:
+      for (graph::NodeId u = 0; u < num_nodes; ++u) {
+        util::SplitMix64 sm(seed ^ u);
+        owner[u] = static_cast<sim::HostId>(sm.next() % num_hosts);
+      }
+      break;
+  }
+  return owner;
+}
+
+}  // namespace kcore::core

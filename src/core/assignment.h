@@ -1,0 +1,34 @@
+// Node-to-host assignment policies for the one-to-many scenario (§3.2.2).
+//
+// The paper adopts "node u is assigned to host (u mod |H|)" and notes that
+// efficient general heuristics are hard. We ship that policy plus three
+// alternatives used by the assignment ablation benchmark:
+//   kBlock  — contiguous ranges (preserves generator locality),
+//   kRandom — a seeded uniform permutation,
+//   kHash   — SplitMix64 of the node id (modulo with id-structure broken).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/engine.h"
+
+namespace kcore::core {
+
+enum class AssignmentPolicy {
+  kModulo,  // the paper's policy
+  kBlock,
+  kRandom,
+  kHash,
+};
+
+[[nodiscard]] const char* to_string(AssignmentPolicy policy);
+
+/// Compute owner[u] for every node. `seed` only affects kRandom.
+[[nodiscard]] std::vector<sim::HostId> assign_nodes(graph::NodeId num_nodes,
+                                                    sim::HostId num_hosts,
+                                                    AssignmentPolicy policy,
+                                                    std::uint64_t seed = 0);
+
+}  // namespace kcore::core

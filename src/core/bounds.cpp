@@ -1,0 +1,42 @@
+#include "core/bounds.h"
+
+#include "graph/stats.h"
+#include "util/check.h"
+
+namespace kcore::core {
+
+TheoryBounds compute_bounds(const graph::Graph& g,
+                            const std::vector<graph::NodeId>& coreness) {
+  KCORE_CHECK_MSG(coreness.size() == g.num_nodes(),
+                  "coreness vector size mismatch");
+  TheoryBounds b;
+
+  // Theorem 4: 1 + Σ (d(u) - k(u)).
+  std::uint64_t initial_error = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    KCORE_CHECK_MSG(coreness[u] <= g.degree(u),
+                    "coreness " << coreness[u] << " exceeds degree "
+                                << g.degree(u) << " at node " << u);
+    initial_error += g.degree(u) - coreness[u];
+  }
+  b.theorem4_rounds = 1 + initial_error;
+
+  // Theorem 5: N.
+  b.theorem5_rounds = g.num_nodes();
+
+  // Corollary 1: N - K + 1.
+  const auto degrees = graph::degree_summary(g);
+  b.corollary1_rounds =
+      g.num_nodes() - degrees.num_min_degree_nodes + 1;
+
+  // Corollary 2: Σ d(u)^2 - 2M.
+  std::uint64_t sum_sq = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::uint64_t d = g.degree(u);
+    sum_sq += d * d;
+  }
+  b.corollary2_messages = sum_sq - g.num_arcs();
+  return b;
+}
+
+}  // namespace kcore::core

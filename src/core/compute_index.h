@@ -1,0 +1,57 @@
+// computeIndex — Algorithm 2 of the paper.
+//
+// Given the current estimates of a node's neighbors and the node's own
+// current estimate k, return the largest value i <= k such that at least i
+// neighbors have estimate >= i. This is the local operator whose repeated
+// application drives both distributed algorithms; by Theorem 1 its fixed
+// point is exactly the coreness.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::core {
+
+using graph::NodeId;
+
+/// "+infinity" estimate for neighbors not heard from yet. Any real
+/// estimate (bounded by degree) is below this.
+inline constexpr NodeId kEstimateInfinity = graph::kInvalidNode;
+
+/// Algorithm 2. `neighbor_estimates` are the est[] entries for every
+/// neighbor of u (order irrelevant); `k` is u's current estimate (the cap).
+/// Runs in O(|neighbors| + k); the `counts` scratch buffer is caller-
+/// provided so hot loops can reuse it across calls.
+///
+/// Returns 0 when k == 0 (isolated node); otherwise a value in [1, k].
+[[nodiscard]] inline NodeId compute_index(
+    std::span<const NodeId> neighbor_estimates, NodeId k,
+    std::vector<NodeId>& counts) {
+  if (k == 0) return 0;
+  counts.assign(static_cast<std::size_t>(k) + 1, 0);
+  // count[j] = number of neighbors whose (clamped) estimate is exactly j.
+  for (const NodeId est : neighbor_estimates) {
+    const NodeId j = std::min(k, est);
+    ++counts[j];
+  }
+  // Suffix-sum so count[i] = number of neighbors with estimate >= i.
+  for (NodeId i = k; i >= 2; --i) {
+    counts[i - 1] = static_cast<NodeId>(counts[i - 1] + counts[i]);
+  }
+  // Largest i with count[i] >= i.
+  NodeId i = k;
+  while (i > 1 && counts[i] < i) --i;
+  return i;
+}
+
+/// Convenience overload allocating its own scratch (tests, cold paths).
+[[nodiscard]] inline NodeId compute_index(
+    std::span<const NodeId> neighbor_estimates, NodeId k) {
+  std::vector<NodeId> scratch;
+  return compute_index(neighbor_estimates, k, scratch);
+}
+
+}  // namespace kcore::core

@@ -1,0 +1,25 @@
+#include "core/pregel_kcore.h"
+
+#include "core/assignment.h"
+
+namespace kcore::core {
+
+PregelKCoreResult run_pregel_kcore(const graph::Graph& g,
+                                   bsp::WorkerId num_workers,
+                                   bool targeted_send) {
+  auto owner =
+      assign_nodes(g.num_nodes(), num_workers, AssignmentPolicy::kModulo);
+  PregelKCoreProgram program;
+  program.targeted_send = targeted_send;
+  bsp::PregelEngine<PregelKCoreProgram> engine(&g, std::move(owner),
+                                               num_workers, program);
+  PregelKCoreResult result;
+  result.stats = engine.run();
+  result.coreness.reserve(g.num_nodes());
+  for (const auto& value : engine.values()) {
+    result.coreness.push_back(value.core);
+  }
+  return result;
+}
+
+}  // namespace kcore::core

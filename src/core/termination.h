@@ -1,0 +1,63 @@
+// Termination detection (§3.3).
+//
+// The paper sketches three mechanisms; all three are implemented:
+//
+//  1. Fixed number of rounds — approximate_coreness() runs Algorithm 1 for
+//     a caller-chosen number of rounds and reports the residual error
+//     against ground truth (§5.1 shows both error curves collapse within
+//     ~20 rounds; Figure 4).
+//
+//  2. Centralized (master/slaves) — each host notifies a coordinator when
+//     its activity status changes ("generated a new estimate this round"
+//     vs not); the master declares termination one round after every host
+//     has reported quiet and no message is in flight.
+//     centralized_termination() evaluates detection round and control
+//     traffic from a finished run's activity profile.
+//
+//  3. Decentralized epidemic aggregation [6] — see src/agg: hosts gossip
+//     the maximum "last round anyone generated an estimate" and conclude
+//     termination when that maximum stays unchanged for a confirmation
+//     window. gossip_termination() in agg/termination.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/one_to_one.h"
+#include "graph/graph.h"
+
+namespace kcore::core {
+
+/// Fixed-rounds termination: run the one-to-one protocol for exactly
+/// `rounds` rounds (no quiescence detection) and return the estimates at
+/// that point. Estimates are upper bounds on the true coreness (Theorem 2).
+struct ApproximateResult {
+  std::vector<graph::NodeId> estimates;
+  /// Estimation error vs the exact decomposition, computed with the
+  /// sequential baseline: avg and max of (estimate - coreness).
+  double avg_error = 0.0;
+  graph::NodeId max_error = 0;
+  /// Fraction of nodes whose estimate is already exact.
+  double fraction_exact = 0.0;
+};
+
+[[nodiscard]] ApproximateResult approximate_coreness(
+    const graph::Graph& g, std::uint64_t rounds, const OneToOneConfig& config);
+
+/// Centralized detector analysis over a finished run.
+struct CentralizedTermination {
+  /// Round at which the master can declare global termination (one round
+  /// after the last traffic-bearing round, when the final quiet reports
+  /// arrive).
+  std::uint64_t detection_round = 0;
+  /// Host -> master status-change notifications (2 per activity burst).
+  std::uint64_t control_messages = 0;
+};
+
+/// `activity_transitions[h]` = number of active<->quiet flips host h went
+/// through; `execution_time` = rounds with protocol traffic.
+[[nodiscard]] CentralizedTermination centralized_termination(
+    std::uint64_t execution_time,
+    const std::vector<std::uint64_t>& activity_transitions);
+
+}  // namespace kcore::core

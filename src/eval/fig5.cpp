@@ -1,0 +1,80 @@
+// Figure 5 runner: one-to-many overhead per node vs number of hosts,
+// with (left) and without (right) a broadcast medium.
+#include <ostream>
+#include <sstream>
+
+#include "core/one_to_many.h"
+#include "eval/experiments.h"
+#include "seq/kcore_seq.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace kcore::eval {
+
+std::vector<Fig5Point> run_fig5(const ExperimentOptions& options,
+                                std::span<const std::string> profiles,
+                                std::span<const std::uint32_t> host_counts) {
+  std::vector<Fig5Point> points;
+  for (const auto& profile : profiles) {
+    const DatasetSpec& spec = dataset_by_name(profile);
+    const graph::Graph g = spec.build(options.scale, options.base_seed);
+    const auto truth = seq::coreness_bz(g);
+
+    for (const std::uint32_t hosts : host_counts) {
+      Fig5Point point;
+      point.dataset = spec.name;
+      point.hosts = hosts;
+      util::RunningStats broadcast_stats;
+      util::RunningStats p2p_stats;
+      for (int run = 0; run < options.runs; ++run) {
+        for (const auto comm :
+             {core::CommPolicy::kBroadcast, core::CommPolicy::kPointToPoint}) {
+          core::OneToManyConfig config;
+          config.num_hosts = hosts;
+          config.comm = comm;
+          config.assignment = core::AssignmentPolicy::kModulo;  // §3.2.2
+          config.seed = options.base_seed + 4000 + static_cast<unsigned>(run);
+          const auto result = core::run_one_to_many(g, config);
+          KCORE_CHECK_MSG(result.traffic.converged,
+                          profile << "/" << hosts << " did not converge");
+          KCORE_CHECK_MSG(result.coreness == truth,
+                          profile << "/" << hosts
+                                  << " produced wrong coreness");
+          if (comm == core::CommPolicy::kBroadcast) {
+            broadcast_stats.add(result.overhead_per_node);
+          } else {
+            p2p_stats.add(result.overhead_per_node);
+          }
+        }
+      }
+      point.overhead_broadcast = broadcast_stats.mean();
+      point.overhead_broadcast_max = broadcast_stats.max();
+      point.overhead_p2p = p2p_stats.mean();
+      point.overhead_p2p_max = p2p_stats.max();
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+void print_fig5(std::span<const Fig5Point> points, std::ostream& os) {
+  os << "Figure 5 — one-to-many overhead (estimates sent per node)\n"
+     << "left: broadcast medium; right: point-to-point (Algorithm 5)\n";
+  util::TableWriter table({"profile", "hosts", "bcast_avg", "bcast_max",
+                           "p2p_avg", "p2p_max"});
+  for (const auto& p : points) {
+    table.add_row({p.dataset, std::to_string(p.hosts),
+                   util::fmt_double(p.overhead_broadcast, 3),
+                   util::fmt_double(p.overhead_broadcast_max, 3),
+                   util::fmt_double(p.overhead_p2p, 3),
+                   util::fmt_double(p.overhead_p2p_max, 3)});
+  }
+  table.print(os);
+
+  std::ostringstream csv;
+  table.print_csv(csv);
+  const auto path = write_results_file("fig5.csv", csv.str());
+  if (!path.empty()) os << "\n[csv] " << path << "\n";
+}
+
+}  // namespace kcore::eval

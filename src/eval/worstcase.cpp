@@ -1,0 +1,77 @@
+// §4.2 runner: the Figure 3 worst-case graph takes exactly N-1 synchronous
+// rounds while its diameter stays 3; a chain takes ~N/2 rounds; and every
+// measured run respects the Theorem 4/5 and Corollary 1/2 bounds.
+#include <ostream>
+#include <sstream>
+
+#include "core/bounds.h"
+#include "core/one_to_one.h"
+#include "eval/experiments.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "seq/kcore_seq.h"
+#include "util/table.h"
+
+namespace kcore::eval {
+
+std::vector<WorstCaseRow> run_worstcase(
+    std::span<const graph::NodeId> sizes) {
+  std::vector<WorstCaseRow> rows;
+  for (const graph::NodeId n : sizes) {
+    WorstCaseRow row;
+    row.n = n;
+    row.expected_worst = n - 1;
+    row.expected_chain = (n + 1) / 2;
+
+    const auto worst = graph::gen::montresor_worst_case(n);
+    row.worst_diameter = graph::exact_diameter(worst);
+    {
+      core::OneToOneConfig config;
+      config.mode = sim::DeliveryMode::kSynchronous;
+      config.targeted_send = false;  // the analysis model has no §3.1.2 opt
+      const auto result = core::run_one_to_one(worst, config);
+      KCORE_CHECK(result.traffic.converged);
+      // §4's execution time includes the final no-effect delivery round.
+      row.rounds_worst_case = result.traffic.rounds_executed;
+      const auto bounds = core::compute_bounds(worst, result.coreness);
+      row.theorem5_bound = bounds.theorem5_rounds;
+      row.corollary1_bound = bounds.corollary1_rounds;
+    }
+    {
+      const auto chain_graph = graph::gen::chain(n);
+      core::OneToOneConfig config;
+      config.mode = sim::DeliveryMode::kSynchronous;
+      config.targeted_send = false;
+      const auto result = core::run_one_to_one(chain_graph, config);
+      KCORE_CHECK(result.traffic.converged);
+      row.rounds_chain = result.traffic.execution_time;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_worstcase(std::span<const WorstCaseRow> rows, std::ostream& os) {
+  os << "§4.2 — worst-case execution time (synchronous rounds)\n"
+     << "worst-case graph (Fig. 3): expected exactly N-1 rounds, diameter 3\n"
+     << "chain of N nodes: expected ~ceil(N/2) rounds\n";
+  util::TableWriter table({"N", "worst_rounds", "N-1", "diam", "chain_rounds",
+                           "ceil(N/2)", "Thm5", "Cor1"});
+  for (const auto& r : rows) {
+    table.add_row({std::to_string(r.n), std::to_string(r.rounds_worst_case),
+                   std::to_string(r.expected_worst),
+                   std::to_string(r.worst_diameter),
+                   std::to_string(r.rounds_chain),
+                   std::to_string(r.expected_chain),
+                   std::to_string(r.theorem5_bound),
+                   std::to_string(r.corollary1_bound)});
+  }
+  table.print(os);
+
+  std::ostringstream csv;
+  table.print_csv(csv);
+  const auto path = write_results_file("worstcase.csv", csv.str());
+  if (!path.empty()) os << "\n[csv] " << path << "\n";
+}
+
+}  // namespace kcore::eval

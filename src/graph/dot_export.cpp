@@ -1,0 +1,92 @@
+#include "graph/dot_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace kcore::graph {
+
+std::string shell_color(NodeId shell, NodeId max_shell) {
+  // Hue sweeps blue (periphery) to red (nucleus); saturation fixed.
+  const double t = max_shell == 0
+                       ? 0.0
+                       : static_cast<double>(shell) /
+                             static_cast<double>(max_shell);
+  const double hue = (1.0 - t) * 0.66;  // 0.66 = blue, 0.0 = red
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(3) << hue << " 0.6 0.95";
+  return oss.str();
+}
+
+void write_dot(std::ostream& out, const Graph& g,
+               const std::vector<NodeId>& coreness,
+               const DotOptions& options) {
+  const bool styled = !coreness.empty();
+  KCORE_CHECK_MSG(!styled || coreness.size() == g.num_nodes(),
+                  "coreness size mismatch");
+  const NodeId limit =
+      options.max_nodes == 0
+          ? g.num_nodes()
+          : std::min<NodeId>(options.max_nodes, g.num_nodes());
+
+  out << "graph " << options.graph_name << " {\n"
+      << "  layout=fdp;\n  outputorder=edgesfirst;\n"
+      << "  node [shape=circle style=filled width=0.2 fixedsize=true "
+         "label=\"\"];\n  edge [color=\"#00000030\"];\n";
+
+  NodeId max_shell = 0;
+  if (styled) {
+    for (NodeId u = 0; u < limit; ++u) {
+      max_shell = std::max(max_shell, coreness[u]);
+    }
+  }
+
+  if (styled && options.cluster_by_shell) {
+    for (NodeId shell = 0; shell <= max_shell; ++shell) {
+      bool any = false;
+      for (NodeId u = 0; u < limit; ++u) {
+        if (coreness[u] != shell) continue;
+        if (!any) {
+          out << "  subgraph cluster_shell_" << shell << " {\n"
+              << "    label=\"" << shell << "-shell\"; style=invis;\n";
+          any = true;
+        }
+        out << "    n" << u << " [fillcolor=\""
+            << shell_color(shell, max_shell) << "\"];\n";
+      }
+      if (any) out << "  }\n";
+    }
+  } else {
+    for (NodeId u = 0; u < limit; ++u) {
+      out << "  n" << u;
+      if (styled) {
+        out << " [fillcolor=\"" << shell_color(coreness[u], max_shell)
+            << "\"]";
+      }
+      out << ";\n";
+    }
+  }
+
+  for (NodeId u = 0; u < limit; ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v && v < limit) out << "  n" << u << " -- n" << v << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+void write_dot_file(const std::string& path, const Graph& g,
+                    const std::vector<NodeId>& coreness,
+                    const DotOptions& options) {
+  std::ofstream out(path);
+  KCORE_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_dot(out, g, coreness, options);
+  out.flush();
+  KCORE_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace kcore::graph

@@ -1,0 +1,42 @@
+// GraphViz (DOT) export with k-core shell styling.
+//
+// One of the paper's motivating applications is large-graph visualization
+// via the k-core decomposition (Alvarez-Hamelin et al. [1]): shells give
+// an onion layout. write_dot() emits a DOT file whose nodes are colored
+// by shell and optionally grouped into concentric clusters, ready for
+// `neato`/`fdp`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::graph {
+
+struct DotOptions {
+  /// Group nodes of each shell into a DOT cluster subgraph.
+  bool cluster_by_shell = true;
+  /// Cap on emitted nodes (huge graphs make DOT useless); 0 = no cap.
+  NodeId max_nodes = 2000;
+  std::string graph_name = "kcore";
+};
+
+/// Write `g` as DOT, styling node u with a color derived from coreness[u]
+/// (empty coreness = unstyled). Throws util::CheckError if coreness is
+/// non-empty but mismatched in size.
+void write_dot(std::ostream& out, const Graph& g,
+               const std::vector<NodeId>& coreness,
+               const DotOptions& options = {});
+
+/// Convenience file wrapper.
+void write_dot_file(const std::string& path, const Graph& g,
+                    const std::vector<NodeId>& coreness,
+                    const DotOptions& options = {});
+
+/// Map a shell index to a fill color (HSV string cycling hue, darker for
+/// deeper cores). Exposed for tests.
+[[nodiscard]] std::string shell_color(NodeId shell, NodeId max_shell);
+
+}  // namespace kcore::graph

@@ -1,0 +1,75 @@
+#include "graph/edge_list.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace kcore::graph {
+
+LoadedGraph read_edge_list(std::istream& in) {
+  std::unordered_map<std::uint64_t, NodeId> dense_of;
+  std::vector<std::uint64_t> original_ids;
+  GraphBuilder builder;
+
+  auto intern = [&](std::uint64_t file_id) -> NodeId {
+    auto [it, inserted] =
+        dense_of.try_emplace(file_id, static_cast<NodeId>(original_ids.size()));
+    if (inserted) original_ids.push_back(file_id);
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip leading whitespace to classify the line.
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;               // blank
+    if (line[start] == '#' || line[start] == '%') continue;  // comment
+    std::istringstream fields(line.substr(start));
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    KCORE_CHECK_MSG(static_cast<bool>(fields >> a >> b),
+                    "malformed edge at line " << line_no << ": '" << line
+                                              << "'");
+    // Intern in reading order (argument evaluation order is unspecified).
+    const NodeId ua = intern(a);
+    const NodeId ub = intern(b);
+    builder.add_edge(ua, ub);
+  }
+  // ensure isolated trailing ids (none possible from pair format) — but the
+  // builder may have fewer nodes than interned ids if the last interned id
+  // had the highest number; ensure_node covers all interned ids.
+  builder.ensure_node(static_cast<NodeId>(original_ids.size() == 0
+                                              ? 0
+                                              : original_ids.size() - 1));
+  return {builder.build(), std::move(original_ids)};
+}
+
+LoadedGraph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  KCORE_CHECK_MSG(in.good(), "cannot open edge list file '" << path << "'");
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# kcore-dist edge list\n";
+  out << "# nodes " << g.num_nodes() << " edges " << g.num_edges() << "\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  KCORE_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_edge_list(out, g);
+  out.flush();
+  KCORE_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace kcore::graph

@@ -1,0 +1,39 @@
+// Plain-text edge-list input/output (SNAP-compatible).
+//
+// Format: one "u v" pair per line, whitespace-separated; lines starting
+// with '#' or '%' are comments. Node ids in files may be arbitrary
+// non-negative integers — they are remapped to a dense [0, n) range on
+// load (SNAP files routinely have gaps).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::graph {
+
+/// Result of loading an edge list: the canonical graph plus the mapping
+/// from dense ids back to the original file ids.
+struct LoadedGraph {
+  Graph graph;
+  std::vector<std::uint64_t> original_ids;  // original_ids[dense] = file id
+};
+
+/// Parse an edge list from a stream. Throws util::CheckError on malformed
+/// lines (a half-read graph would silently corrupt an experiment).
+[[nodiscard]] LoadedGraph read_edge_list(std::istream& in);
+
+/// Convenience file wrapper around read_edge_list(std::istream&).
+[[nodiscard]] LoadedGraph read_edge_list_file(const std::string& path);
+
+/// Write a graph as "u v" lines, one per undirected edge (u < v), with a
+/// comment header carrying node/edge counts.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Convenience file wrapper around write_edge_list(std::ostream&).
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+}  // namespace kcore::graph

@@ -1,0 +1,92 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace kcore::graph {
+
+Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
+  GraphBuilder builder(num_nodes);
+  builder.reserve(edges.size());
+  for (const Edge& e : edges) {
+    KCORE_CHECK_MSG(e.u < num_nodes && e.v < num_nodes,
+                    "edge (" << e.u << "," << e.v << ") out of range, n="
+                             << num_nodes);
+    builder.add_edge(e.u, e.v);
+  }
+  return builder.build();
+}
+
+Graph GraphBuilder::build() {
+  Graph g;
+  const NodeId n = num_nodes_;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Pass 1: count arc endpoints (skipping self-loops).
+  for (const Edge& e : edges_) {
+    if (e.u == e.v) continue;
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+
+  // Pass 2: scatter arcs.
+  g.adjacency_.resize(g.offsets_.back());
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    if (e.u == e.v) continue;
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Pass 3: sort each adjacency list and drop duplicate arcs in place.
+  std::vector<std::uint64_t> new_offsets(g.offsets_.size(), 0);
+  std::uint64_t write = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto begin = g.adjacency_.begin() +
+                       static_cast<std::ptrdiff_t>(g.offsets_[u]);
+    const auto end = g.adjacency_.begin() +
+                     static_cast<std::ptrdiff_t>(g.offsets_[u + 1]);
+    std::sort(begin, end);
+    const auto unique_end = std::unique(begin, end);
+    for (auto it = begin; it != unique_end; ++it) {
+      g.adjacency_[write++] = *it;
+    }
+    new_offsets[u + 1] = write;
+  }
+  g.adjacency_.resize(write);
+  g.offsets_ = std::move(new_offsets);
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  KCORE_DCHECK(u < num_nodes() && v < num_nodes());
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+NodeId Graph::min_degree() const noexcept {
+  const NodeId n = num_nodes();
+  if (n == 0) return 0;
+  NodeId best = degree(0);
+  for (NodeId u = 1; u < n; ++u) best = std::min(best, degree(u));
+  return best;
+}
+
+NodeId Graph::max_degree() const noexcept {
+  const NodeId n = num_nodes();
+  NodeId best = 0;
+  for (NodeId u = 0; u < n; ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+double Graph::average_degree() const noexcept {
+  const NodeId n = num_nodes();
+  if (n == 0) return 0.0;
+  return static_cast<double>(num_arcs()) / static_cast<double>(n);
+}
+
+}  // namespace kcore::graph

@@ -1,0 +1,112 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kcore::graph {
+
+std::vector<std::uint64_t> triangles_per_node(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint64_t> count(n, 0);
+  // For each edge (u, v) with u < v, intersect the sorted adjacency lists
+  // counting common neighbors w > v; each triangle (u < v < w) is found
+  // exactly once and credited to all three corners.
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nu = g.neighbors(u);
+    for (const NodeId v : nu) {
+      if (v <= u) continue;
+      const auto nv = g.neighbors(v);
+      auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+      auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++count[u];
+          ++count[v];
+          ++count[*iu];
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t triangle_count(const Graph& g) {
+  const auto per_node = triangles_per_node(g);
+  std::uint64_t total = 0;
+  for (const auto c : per_node) total += c;
+  return total / 3;
+}
+
+std::vector<double> local_clustering(const Graph& g) {
+  const auto tri = triangles_per_node(g);
+  std::vector<double> c(g.num_nodes(), 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::uint64_t d = g.degree(u);
+    if (d < 2) continue;
+    const double wedges = static_cast<double>(d) *
+                          static_cast<double>(d - 1) / 2.0;
+    c[u] = static_cast<double>(tri[u]) / wedges;
+  }
+  return c;
+}
+
+double average_clustering(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  const auto c = local_clustering(g);
+  double sum = 0.0;
+  for (const double v : c) sum += v;
+  return sum / static_cast<double>(g.num_nodes());
+}
+
+double transitivity(const Graph& g) {
+  std::uint64_t wedges = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::uint64_t d = g.degree(u);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangle_count(g)) /
+         static_cast<double>(wedges);
+}
+
+double degree_assortativity(const Graph& g) {
+  // Newman (2002): Pearson correlation of (deg(u), deg(v)) over directed
+  // arcs; symmetric graphs make x/y statistics identical.
+  const std::uint64_t arcs = g.num_arcs();
+  if (arcs == 0) return 0.0;
+  double sum_xy = 0.0;
+  double sum_x = 0.0;
+  double sum_x2 = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto du = static_cast<double>(g.degree(u));
+    for (const NodeId v : g.neighbors(u)) {
+      const auto dv = static_cast<double>(g.degree(v));
+      sum_xy += du * dv;
+      sum_x += du;
+      sum_x2 += du * du;
+    }
+  }
+  const double m = static_cast<double>(arcs);
+  const double mean = sum_x / m;
+  const double var = sum_x2 / m - mean * mean;
+  if (var <= 0.0) return 0.0;
+  const double cov = sum_xy / m - mean * mean;
+  return cov / var;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Graph& g) {
+  std::vector<std::uint64_t> histogram(
+      static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ++histogram[g.degree(u)];
+  }
+  return histogram;
+}
+
+}  // namespace kcore::graph

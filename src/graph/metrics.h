@@ -1,0 +1,40 @@
+// Structural metrics beyond degrees: triangles, clustering, assortativity
+// and the degree distribution. Used to validate that the synthetic
+// dataset profiles carry the structural character of their SNAP
+// originals (collaboration graphs cluster heavily, road networks do not,
+// social graphs are weakly disassortative, ...).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::graph {
+
+/// Count of triangles through each node (each triangle contributes 1 to
+/// each of its three corners). O(M * sqrt(M))-ish via neighbor
+/// intersection on sorted adjacency.
+[[nodiscard]] std::vector<std::uint64_t> triangles_per_node(const Graph& g);
+
+/// Total number of distinct triangles in the graph.
+[[nodiscard]] std::uint64_t triangle_count(const Graph& g);
+
+/// Local clustering coefficient per node: triangles(u) / C(deg(u), 2);
+/// 0 for degree < 2.
+[[nodiscard]] std::vector<double> local_clustering(const Graph& g);
+
+/// Average of the local clustering coefficients (Watts–Strogatz C).
+[[nodiscard]] double average_clustering(const Graph& g);
+
+/// Global clustering (transitivity): 3 * triangles / #wedges.
+[[nodiscard]] double transitivity(const Graph& g);
+
+/// Pearson degree-degree correlation over edges (Newman assortativity);
+/// 0 for degenerate graphs (no edges or constant degree).
+[[nodiscard]] double degree_assortativity(const Graph& g);
+
+/// histogram[d] = number of nodes of degree exactly d.
+[[nodiscard]] std::vector<std::uint64_t> degree_histogram(const Graph& g);
+
+}  // namespace kcore::graph

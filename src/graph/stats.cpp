@@ -1,0 +1,129 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace kcore::graph {
+
+Components connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  Components result;
+  result.component_of.assign(n, kInvalidNode);
+  std::vector<NodeId> queue;
+  std::vector<std::size_t> sizes;
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.component_of[start] != kInvalidNode) continue;
+    const auto label = static_cast<NodeId>(sizes.size());
+    sizes.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    result.component_of[start] = label;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const NodeId u = queue[head++];
+      ++sizes.back();
+      for (NodeId v : g.neighbors(u)) {
+        if (result.component_of[v] == kInvalidNode) {
+          result.component_of[v] = label;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  result.num_components = sizes.size();
+  result.largest_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return result;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  KCORE_CHECK_MSG(source < g.num_nodes(), "BFS source out of range");
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> queue;
+  queue.push_back(source);
+  dist[source] = 0;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId u = queue[head++];
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t exact_diameter(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0;
+  const auto comps = connected_components(g);
+  // Restrict to the largest component (paper datasets are dominated by one).
+  NodeId largest_label = 0;
+  {
+    std::vector<std::size_t> sizes(comps.num_components, 0);
+    for (NodeId u = 0; u < n; ++u) ++sizes[comps.component_of[u]];
+    largest_label = static_cast<NodeId>(std::distance(
+        sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+  }
+  std::uint32_t best = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (comps.component_of[u] != largest_label) continue;
+    best = std::max(best, eccentricity(g, u));
+  }
+  return best;
+}
+
+std::uint32_t diameter_lower_bound(const Graph& g, std::uint64_t seed,
+                                   int sweeps) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0;
+  util::Xoshiro256 rng(seed);
+  std::uint32_t best = 0;
+  for (int s = 0; s < sweeps; ++s) {
+    const auto start = static_cast<NodeId>(rng.next_below(n));
+    auto dist = bfs_distances(g, start);
+    // Farthest reachable node from the random start...
+    NodeId far = start;
+    std::uint32_t far_d = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (dist[u] != kUnreachable && dist[u] > far_d) {
+        far_d = dist[u];
+        far = u;
+      }
+    }
+    // ...then its eccentricity is a diameter lower bound.
+    best = std::max(best, eccentricity(g, far));
+  }
+  return best;
+}
+
+DegreeSummary degree_summary(const Graph& g) {
+  DegreeSummary s;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return s;
+  s.min = g.degree(0);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId d = g.degree(u);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (g.degree(u) == s.min) ++s.num_min_degree_nodes;
+  }
+  s.avg = g.average_degree();
+  return s;
+}
+
+}  // namespace kcore::graph

@@ -1,0 +1,56 @@
+// Structural graph statistics: components, BFS, diameter, degree summary.
+//
+// These feed the left half of the paper's Table 1 (|V|, |E|, diameter,
+// max degree) and are reused by tests and dataset profiling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::graph {
+
+/// Distance value for unreachable nodes in BFS results.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// Connected-components labeling.
+struct Components {
+  std::vector<NodeId> component_of;  // per node, in [0, num_components)
+  std::size_t num_components = 0;
+  std::size_t largest_size = 0;
+};
+
+/// Label components with BFS; O(N + M).
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// Single-source BFS distances (kUnreachable where not reachable).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId source);
+
+/// Eccentricity of `source` within its component (max BFS distance).
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter of the largest component by running BFS from every node
+/// of that component. O(N * (N + M)) — intended for graphs up to a few
+/// thousand nodes (tests, small examples).
+[[nodiscard]] std::uint32_t exact_diameter(const Graph& g);
+
+/// Double-sweep lower bound on the diameter: BFS from `sweeps` random
+/// sources, then BFS again from the farthest node found. Exact on trees,
+/// excellent in practice on real-world graphs; O(sweeps * (N + M)).
+[[nodiscard]] std::uint32_t diameter_lower_bound(const Graph& g,
+                                                 std::uint64_t seed,
+                                                 int sweeps = 4);
+
+/// Degree summary for reporting.
+struct DegreeSummary {
+  NodeId min = 0;
+  NodeId max = 0;
+  double avg = 0.0;
+  std::size_t num_min_degree_nodes = 0;  // K of Corollary 1
+};
+
+[[nodiscard]] DegreeSummary degree_summary(const Graph& g);
+
+}  // namespace kcore::graph

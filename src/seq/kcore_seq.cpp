@@ -1,0 +1,242 @@
+#include "seq/kcore_seq.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace kcore::seq {
+
+std::vector<NodeId> coreness_bz(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> degree(n);
+  NodeId max_degree = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    degree[u] = g.degree(u);
+    max_degree = std::max(max_degree, degree[u]);
+  }
+
+  // Bucket sort nodes by degree: pos[u] is u's index in `order`, which is
+  // sorted by current degree; bucket_start[d] is the first index of bucket d.
+  std::vector<std::uint64_t> bucket_start(
+      static_cast<std::size_t>(max_degree) + 2, 0);
+  for (NodeId u = 0; u < n; ++u) ++bucket_start[degree[u] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(n);
+  std::vector<std::uint64_t> pos(n);
+  {
+    std::vector<std::uint64_t> cursor(bucket_start.begin(),
+                                      bucket_start.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      pos[u] = cursor[degree[u]]++;
+      order[pos[u]] = u;
+    }
+  }
+
+  // Peel in non-decreasing degree order. When u is peeled its current
+  // degree is its coreness; each unpeeled neighbor with larger current
+  // degree is swapped down into the next-lower bucket.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const NodeId u = order[i];
+    for (NodeId v : g.neighbors(u)) {
+      if (degree[v] <= degree[u]) continue;
+      // Swap v with the first element of its bucket, then shrink bucket.
+      const std::uint64_t v_pos = pos[v];
+      const std::uint64_t head_pos = bucket_start[degree[v]];
+      const NodeId head = order[head_pos];
+      if (head != v) {
+        order[v_pos] = head;
+        order[head_pos] = v;
+        pos[head] = v_pos;
+        pos[v] = head_pos;
+      }
+      ++bucket_start[degree[v]];
+      --degree[v];
+    }
+  }
+  return degree;  // degree[u] at peel time == coreness
+}
+
+std::vector<NodeId> coreness_peeling(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> coreness(n, 0);
+  std::vector<NodeId> degree(n);
+  std::vector<bool> removed(n, false);
+  for (NodeId u = 0; u < n; ++u) degree[u] = g.degree(u);
+
+  NodeId remaining = n;
+  NodeId k = 0;
+  std::vector<NodeId> worklist;
+  while (remaining > 0) {
+    // Remove every node of degree < k until none remains, assigning
+    // coreness k-1... we instead assign coreness = current k level when a
+    // node survives all removals below k. Classic formulation: for
+    // increasing k, cascade-delete nodes with degree < k+1? Clearer: a node
+    // removed while threshold is k has coreness k.
+    worklist.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      if (!removed[u] && degree[u] <= k) worklist.push_back(u);
+    }
+    if (worklist.empty()) {
+      ++k;
+      continue;
+    }
+    while (!worklist.empty()) {
+      const NodeId u = worklist.back();
+      worklist.pop_back();
+      if (removed[u]) continue;
+      removed[u] = true;
+      coreness[u] = k;
+      --remaining;
+      for (NodeId v : g.neighbors(u)) {
+        if (removed[v]) continue;
+        if (degree[v] > 0) --degree[v];
+        if (degree[v] <= k) worklist.push_back(v);
+      }
+    }
+  }
+  return coreness;
+}
+
+CorenessSummary summarize_coreness(const std::vector<NodeId>& coreness) {
+  CorenessSummary s;
+  if (coreness.empty()) return s;
+  s.k_max = *std::max_element(coreness.begin(), coreness.end());
+  s.shell_sizes.assign(static_cast<std::size_t>(s.k_max) + 1, 0);
+  double sum = 0.0;
+  for (NodeId c : coreness) {
+    ++s.shell_sizes[c];
+    sum += static_cast<double>(c);
+  }
+  s.k_avg = sum / static_cast<double>(coreness.size());
+  return s;
+}
+
+std::vector<bool> kcore_membership(const std::vector<NodeId>& coreness,
+                                   NodeId k) {
+  std::vector<bool> member(coreness.size());
+  for (std::size_t u = 0; u < coreness.size(); ++u) {
+    member[u] = coreness[u] >= k;
+  }
+  return member;
+}
+
+CoreSubgraph kcore_subgraph(const Graph& g,
+                            const std::vector<NodeId>& coreness, NodeId k) {
+  KCORE_CHECK_MSG(coreness.size() == g.num_nodes(),
+                  "coreness vector size mismatch");
+  CoreSubgraph out;
+  out.dense_of_original.assign(g.num_nodes(), graph::kInvalidNode);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (coreness[u] >= k) {
+      out.dense_of_original[u] =
+          static_cast<NodeId>(out.original_of_dense.size());
+      out.original_of_dense.push_back(u);
+    }
+  }
+  graph::GraphBuilder b(static_cast<NodeId>(out.original_of_dense.size()));
+  for (NodeId dense = 0;
+       dense < static_cast<NodeId>(out.original_of_dense.size()); ++dense) {
+    const NodeId u = out.original_of_dense[dense];
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v && coreness[v] >= k) {
+        b.add_edge(dense, out.dense_of_original[v]);
+      }
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+std::vector<NodeId> degeneracy_order(const Graph& g) {
+  // Re-run the bucket peel, recording removal order.
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> degree(n);
+  NodeId max_degree = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    degree[u] = g.degree(u);
+    max_degree = std::max(max_degree, degree[u]);
+  }
+  std::vector<std::uint64_t> bucket_start(
+      static_cast<std::size_t>(max_degree) + 2, 0);
+  for (NodeId u = 0; u < n; ++u) ++bucket_start[degree[u] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(n);
+  std::vector<std::uint64_t> pos(n);
+  {
+    std::vector<std::uint64_t> cursor(bucket_start.begin(),
+                                      bucket_start.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      pos[u] = cursor[degree[u]]++;
+      order[pos[u]] = u;
+    }
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const NodeId u = order[i];
+    for (NodeId v : g.neighbors(u)) {
+      if (degree[v] <= degree[u]) continue;
+      const std::uint64_t v_pos = pos[v];
+      const std::uint64_t head_pos = bucket_start[degree[v]];
+      const NodeId head = order[head_pos];
+      if (head != v) {
+        order[v_pos] = head;
+        order[head_pos] = v;
+        pos[head] = v_pos;
+        pos[v] = head_pos;
+      }
+      ++bucket_start[degree[v]];
+      --degree[v];
+    }
+  }
+  return order;
+}
+
+std::vector<NodeId> degeneracy_coloring(const Graph& g) {
+  const auto order = degeneracy_order(g);
+  std::vector<NodeId> color(g.num_nodes(), graph::kInvalidNode);
+  std::vector<bool> used;  // scratch: colors taken by colored neighbors
+  // Color in REVERSE peel order: when u is colored, its already-colored
+  // neighbors are exactly those later in the peel, and there are at most
+  // coreness(u) <= degeneracy of them — so some color in
+  // [0, degeneracy] is always free.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    used.assign(g.degree(u) + 1, false);
+    for (const NodeId v : g.neighbors(u)) {
+      if (color[v] != graph::kInvalidNode && color[v] <= g.degree(u)) {
+        used[color[v]] = true;
+      }
+    }
+    NodeId c = 0;
+    while (c < used.size() && used[c]) ++c;
+    color[u] = c;
+  }
+  return color;
+}
+
+bool satisfies_locality(const Graph& g,
+                        const std::vector<NodeId>& coreness) {
+  if (coreness.size() != g.num_nodes()) return false;
+  std::vector<NodeId> count;  // reused scratch
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId k = coreness[u];
+    if (k > g.degree(u)) return false;  // coreness cannot exceed degree
+    // (i) at least k neighbors with coreness >= k
+    NodeId at_least_k = 0;
+    NodeId at_least_k1 = 0;
+    for (NodeId v : g.neighbors(u)) {
+      if (coreness[v] >= k) ++at_least_k;
+      if (coreness[v] >= k + 1) ++at_least_k1;
+    }
+    if (k > 0 && at_least_k < k) return false;
+    // (ii) no k+1 neighbors with coreness >= k+1
+    if (at_least_k1 >= k + 1) return false;
+  }
+  return true;
+}
+
+}  // namespace kcore::seq

@@ -1,0 +1,76 @@
+// Sequential (centralized) k-core decomposition.
+//
+// Two independent implementations:
+//  * coreness_bz    — the Batagelj–Zaveršnik O(m) bucket algorithm, the
+//                     paper's reference [3] and our performance baseline;
+//  * coreness_peeling — naive iterated removal straight from Definition 1,
+//                     O(N*M) worst case, kept as an oracle to cross-check
+//                     the optimized implementation in tests.
+//
+// Plus utilities built on a coreness vector: shell sizes, k-core
+// membership/subgraph extraction, degeneracy order, and a verifier for the
+// paper's Theorem 1 (locality).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::seq {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Batagelj–Zaveršnik bucket algorithm; O(N + M) time, O(N) extra space.
+/// Returns coreness[u] for every node.
+[[nodiscard]] std::vector<NodeId> coreness_bz(const Graph& g);
+
+/// Naive peeling oracle: repeatedly delete all nodes of degree < k.
+/// Exponentially simpler to audit than BZ; used for differential testing.
+[[nodiscard]] std::vector<NodeId> coreness_peeling(const Graph& g);
+
+/// Summary statistics of a coreness vector (Table 1's kmax / kavg columns).
+struct CorenessSummary {
+  NodeId k_max = 0;
+  double k_avg = 0.0;
+  /// shell_sizes[k] = number of nodes with coreness exactly k.
+  std::vector<std::size_t> shell_sizes;
+};
+
+[[nodiscard]] CorenessSummary summarize_coreness(
+    const std::vector<NodeId>& coreness);
+
+/// membership[u] = true iff u belongs to the k-core (coreness >= k).
+[[nodiscard]] std::vector<bool> kcore_membership(
+    const std::vector<NodeId>& coreness, NodeId k);
+
+/// Induced subgraph of the k-core. `dense_of_original[u]` maps an original
+/// node to its id in the subgraph (kInvalidNode if outside the core).
+struct CoreSubgraph {
+  Graph graph;
+  std::vector<NodeId> original_of_dense;
+  std::vector<NodeId> dense_of_original;
+};
+
+[[nodiscard]] CoreSubgraph kcore_subgraph(const Graph& g,
+                                          const std::vector<NodeId>& coreness,
+                                          NodeId k);
+
+/// Degeneracy order: the node removal order of the bucket algorithm
+/// (non-decreasing coreness). The graph's degeneracy equals max coreness.
+[[nodiscard]] std::vector<NodeId> degeneracy_order(const Graph& g);
+
+/// Verify the paper's Theorem 1 for every node: k(u) is the largest k such
+/// that u has >= k neighbors of coreness >= k. Returns true iff the given
+/// vector is a fixed point of that recurrence AND matches on degree caps;
+/// used to validate both baselines and distributed outputs.
+[[nodiscard]] bool satisfies_locality(const Graph& g,
+                                      const std::vector<NodeId>& coreness);
+
+/// Greedy graph coloring along the reverse degeneracy order — the classic
+/// application of the decomposition: uses at most (degeneracy + 1) =
+/// (max coreness + 1) colors. Returns color[u] in [0, max_coreness].
+[[nodiscard]] std::vector<NodeId> degeneracy_coloring(const Graph& g);
+
+}  // namespace kcore::seq

@@ -1,0 +1,266 @@
+// Round-based message-passing simulation engine (PeerSim-equivalent).
+//
+// The paper evaluates its protocols with PeerSim's cycle-driven model [7]:
+// time advances in rounds of δ units; in each round every host gets one
+// opportunity to process incoming messages and send updates. This engine
+// reproduces that model with two delivery semantics:
+//
+//  * kSynchronous — strict barriers: a message sent in round r becomes
+//    visible in round r+1. This is the model used by the §4 proofs and is
+//    what makes the Figure-3 worst case take exactly N-1 rounds.
+//
+//  * kCycleRandomOrder — PeerSim cycle-driven semantics: hosts are
+//    processed in a fresh random permutation each round, and a message
+//    sent by a host is immediately visible to receivers processed later
+//    in the same round. The permutation is the only source of randomness;
+//    it is why the paper's t_min/t_max differ across its 50 runs.
+//
+// Channels are reliable and FIFO per (sender, receiver) pair, matching
+// §2 ("Hosts communicate through reliable channels"). Optional fault
+// injection (bounded extra delay, duplication) exercises the protocol's
+// tolerance to asynchrony; it never drops messages.
+//
+// The engine is deliberately protocol-agnostic: a Host type supplies
+//   using Message = ...;                    // copyable payload
+//   void on_message(HostId from, const Message&);
+//   void on_round(Context<Message>&);       // once per round, after drain
+// State initialization (e.g. Algorithm 1's "on initialization") belongs in
+// the Host constructor; the initial broadcast happens in the first
+// on_round when the host notices its dirty flag.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace kcore::sim {
+
+/// Host identifier: dense indices in [0, num_hosts).
+using HostId = std::uint32_t;
+
+enum class DeliveryMode {
+  kSynchronous,
+  kCycleRandomOrder,
+};
+
+/// Optional channel-fault model. Delays are measured in whole rounds and
+/// added on top of the mode's base latency; duplicates are delivered with
+/// an independent random delay. Messages are never lost or reordered
+/// beyond what the delays imply.
+struct FaultPlan {
+  std::uint32_t max_extra_delay = 0;  // uniform in [0, max_extra_delay]
+  double duplicate_probability = 0.0;
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_extra_delay > 0 || duplicate_probability > 0.0;
+  }
+};
+
+struct EngineConfig {
+  DeliveryMode mode = DeliveryMode::kCycleRandomOrder;
+  std::uint64_t seed = 1;
+  /// Hard stop; 0 means "choose automatically" (callers should set a bound
+  /// derived from Theorem 5 when they can).
+  std::uint64_t max_rounds = 0;
+  FaultPlan faults;
+};
+
+/// Aggregate traffic statistics for one run.
+struct TrafficStats {
+  std::uint64_t total_messages = 0;
+  /// The paper's §5 *measured* execution time: number of rounds in which
+  /// >= 1 message was sent (Table 1's t columns).
+  std::uint64_t execution_time = 0;
+  /// Total rounds stepped through. For a converged run this is the paper's
+  /// §4 *theoretical* execution time T+1: the last traffic round plus the
+  /// final round in which its messages arrive without effect (the round
+  /// the Theorem 5 / Corollary 1 bounds and the Figure 3 "exactly N-1"
+  /// result refer to).
+  std::uint64_t rounds_executed = 0;
+  bool converged = false;
+  std::vector<std::uint64_t> sent_by_host;
+};
+
+template <typename Message>
+class Context;
+
+/// Requirements on a simulated host protocol.
+template <typename H>
+concept SimHost = requires(H h, HostId from, const typename H::Message& m,
+                           Context<typename H::Message>& ctx) {
+  typename H::Message;
+  h.on_message(from, m);
+  h.on_round(ctx);
+};
+
+template <SimHost Host>
+class Engine;
+
+/// Per-host send interface handed to on_round.
+template <typename Message>
+class Context {
+ public:
+  /// Queue a message to `to`. Delivery round depends on the engine mode.
+  void send(HostId to, Message m) {
+    KCORE_DCHECK(to < num_hosts_);
+    outbox_->push_back({to, std::move(m)});
+  }
+
+  [[nodiscard]] HostId self() const noexcept { return self_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+ private:
+  template <SimHost H>
+  friend class Engine;
+
+  struct Outgoing {
+    HostId to;
+    Message payload;
+  };
+
+  Context(HostId self, std::uint64_t round, HostId num_hosts,
+          std::vector<Outgoing>* outbox)
+      : self_(self), round_(round), num_hosts_(num_hosts), outbox_(outbox) {}
+
+  HostId self_;
+  std::uint64_t round_;
+  HostId num_hosts_;
+  std::vector<Outgoing>* outbox_;
+};
+
+/// The simulation engine. Owns the host objects; drives rounds until
+/// quiescence (a full round with no sends and nothing in flight) or until
+/// max_rounds. An observer callable with signature
+///   void(std::uint64_t round, const std::vector<Host>&)
+/// is invoked after every executed round.
+template <SimHost Host>
+class Engine {
+ public:
+  using Message = typename Host::Message;
+
+  Engine(std::vector<Host> hosts, const EngineConfig& config)
+      : hosts_(std::move(hosts)),
+        config_(config),
+        rng_(config.seed),
+        inboxes_(hosts_.size()) {
+    KCORE_CHECK_MSG(!hosts_.empty(), "engine needs at least one host");
+    stats_.sent_by_host.assign(hosts_.size(), 0);
+  }
+
+  /// Run to quiescence. Returns traffic statistics; host final states are
+  /// available through hosts() afterwards.
+  template <typename Observer>
+  TrafficStats run(Observer&& observer) {
+    const std::uint64_t limit = config_.max_rounds > 0
+                                    ? config_.max_rounds
+                                    : default_round_limit();
+    const auto n = static_cast<HostId>(hosts_.size());
+    std::vector<HostId> order(n);
+    for (HostId i = 0; i < n; ++i) order[i] = i;
+
+    for (std::uint64_t round = 1; round <= limit; ++round) {
+      if (config_.mode == DeliveryMode::kCycleRandomOrder) {
+        util::shuffle(order, rng_);
+      }
+      std::uint64_t sends_this_round = 0;
+      for (HostId idx = 0; idx < n; ++idx) {
+        const HostId h = order[idx];
+        drain_inbox(h, round);
+        outbox_.clear();
+        Context<Message> ctx(h, round, n, &outbox_);
+        hosts_[h].on_round(ctx);
+        sends_this_round += outbox_.size();
+        stats_.sent_by_host[h] += outbox_.size();
+        for (auto& out : outbox_) {
+          enqueue(h, out.to, std::move(out.payload), round);
+        }
+      }
+      ++stats_.rounds_executed;
+      if (sends_this_round > 0) ++stats_.execution_time;
+      stats_.total_messages += sends_this_round;
+      observer(round, hosts_);
+      if (sends_this_round == 0 && in_flight_ == 0) {
+        stats_.converged = true;
+        break;
+      }
+    }
+    return stats_;
+  }
+
+  /// Run without an observer.
+  TrafficStats run() {
+    return run([](std::uint64_t, const std::vector<Host>&) {});
+  }
+
+  [[nodiscard]] const std::vector<Host>& hosts() const noexcept {
+    return hosts_;
+  }
+  [[nodiscard]] std::vector<Host>& hosts() noexcept { return hosts_; }
+
+ private:
+  struct Pending {
+    std::uint64_t deliver_round;
+    HostId from;
+    Message payload;
+  };
+
+  [[nodiscard]] std::uint64_t default_round_limit() const {
+    // Theorem 5 bounds the execution time by N for the one-to-one case;
+    // other protocols converge far sooner. 4N + 64 leaves generous slack
+    // for fault-injected runs without risking unbounded loops.
+    return 4 * static_cast<std::uint64_t>(hosts_.size()) + 64;
+  }
+
+  void enqueue(HostId from, HostId to, Message&& payload,
+               std::uint64_t sent_round) {
+    // Base latency: synchronous mode delivers next round; cycle mode makes
+    // the message immediately available (hosts later in this round's order
+    // will drain it; earlier hosts see it next round).
+    std::uint64_t deliver =
+        config_.mode == DeliveryMode::kSynchronous ? sent_round + 1
+                                                   : sent_round;
+    if (config_.faults.enabled()) {
+      deliver += rng_.next_below(
+          static_cast<std::uint64_t>(config_.faults.max_extra_delay) + 1);
+      if (config_.faults.duplicate_probability > 0.0 &&
+          rng_.next_bool(config_.faults.duplicate_probability)) {
+        const std::uint64_t dup_deliver =
+            deliver + rng_.next_below(
+                          static_cast<std::uint64_t>(
+                              config_.faults.max_extra_delay) +
+                          2);
+        inboxes_[to].push_back({dup_deliver, from, payload});
+        ++in_flight_;
+      }
+    }
+    inboxes_[to].push_back({deliver, from, std::move(payload)});
+    ++in_flight_;
+  }
+
+  void drain_inbox(HostId h, std::uint64_t round) {
+    auto& inbox = inboxes_[h];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < inbox.size(); ++i) {
+      if (inbox[i].deliver_round <= round) {
+        hosts_[h].on_message(inbox[i].from, inbox[i].payload);
+        --in_flight_;
+      } else {
+        if (kept != i) inbox[kept] = std::move(inbox[i]);
+        ++kept;
+      }
+    }
+    inbox.resize(kept);
+  }
+
+  std::vector<Host> hosts_;
+  EngineConfig config_;
+  util::Xoshiro256 rng_;
+  std::vector<std::vector<Pending>> inboxes_;
+  std::vector<typename Context<Message>::Outgoing> outbox_;
+  std::uint64_t in_flight_ = 0;
+  TrafficStats stats_;
+};
+
+}  // namespace kcore::sim

@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+namespace kcore::util::detail {
+
+void throw_check_error(const char* expr, const char* file, int line,
+                       const std::string& extra) {
+  std::ostringstream oss;
+  oss << "KCORE_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!extra.empty()) {
+    oss << " — " << extra;
+  }
+  throw CheckError(oss.str());
+}
+
+}  // namespace kcore::util::detail

@@ -1,0 +1,56 @@
+// Lightweight runtime check macros.
+//
+// KCORE_CHECK is always active (release and debug): library invariants and
+// precondition violations throw kcore::util::CheckError with a readable
+// message instead of corrupting state. KCORE_DCHECK compiles out in NDEBUG
+// builds and is reserved for hot-loop assertions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kcore::util {
+
+/// Thrown when a KCORE_CHECK fails. Derives from std::logic_error because a
+/// failed check is a programming error, not an environmental condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_error(const char* expr, const char* file,
+                                    int line, const std::string& extra);
+}  // namespace detail
+
+}  // namespace kcore::util
+
+/// Check `cond`; on failure throw CheckError identifying expression and
+/// location. Extra context can be streamed: KCORE_CHECK(x > 0) with message
+/// via KCORE_CHECK_MSG(x > 0, "x=" << x).
+#define KCORE_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::kcore::util::detail::throw_check_error(#cond, __FILE__, __LINE__,   \
+                                               std::string{});               \
+    }                                                                        \
+  } while (false)
+
+#define KCORE_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream kcore_check_oss_;                                   \
+      kcore_check_oss_ << stream_expr;                                       \
+      ::kcore::util::detail::throw_check_error(#cond, __FILE__, __LINE__,   \
+                                               kcore_check_oss_.str());      \
+    }                                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define KCORE_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define KCORE_DCHECK(cond) KCORE_CHECK(cond)
+#endif

@@ -1,0 +1,60 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace kcore::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  std::size_t pos = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(*raw, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  KCORE_CHECK_MSG(pos == raw->size() && pos > 0,
+                  "env var " << name << "='" << *raw << "' is not an integer");
+  return value;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(*raw, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  KCORE_CHECK_MSG(pos == raw->size() && pos > 0,
+                  "env var " << name << "='" << *raw << "' is not a number");
+  return value;
+}
+
+bool env_bool(const std::string& name, bool fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  std::string s = *raw;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  KCORE_CHECK_MSG(false, "env var " << name << "='" << *raw
+                                    << "' is not a boolean");
+  return fallback;  // unreachable
+}
+
+}  // namespace kcore::util

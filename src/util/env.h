@@ -1,0 +1,29 @@
+// Environment-variable configuration helpers.
+//
+// The benchmark harness is tuned through KCORE_* environment variables
+// (KCORE_RUNS, KCORE_SCALE, ...) so that the same binaries can run a quick
+// smoke pass or the full paper-scale sweep without recompilation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace kcore::util {
+
+/// Raw lookup; nullopt when the variable is unset or empty.
+[[nodiscard]] std::optional<std::string> env_string(const std::string& name);
+
+/// Parse as signed 64-bit integer; returns fallback when unset; throws
+/// CheckError when set but unparsable (silently ignoring a typo'd override
+/// would invalidate an experiment).
+[[nodiscard]] std::int64_t env_int(const std::string& name,
+                                   std::int64_t fallback);
+
+/// Parse as double; same contract as env_int.
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+
+/// Parse as bool: accepts 0/1/true/false/yes/no/on/off (case-insensitive).
+[[nodiscard]] bool env_bool(const std::string& name, bool fallback);
+
+}  // namespace kcore::util

@@ -1,0 +1,38 @@
+#include "util/rng.h"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace kcore::util {
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, Xoshiro256& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  shuffle(perm, rng);
+  return perm;
+}
+
+std::vector<std::uint32_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k,
+                                                      Xoshiro256& rng) {
+  KCORE_CHECK_MSG(k <= n, "cannot sample " << k << " from " << n);
+  if (k == 0) return {};
+  // Two regimes: dense sampling shuffles a full permutation prefix; sparse
+  // sampling uses rejection against a hash set.
+  if (k * 3 >= n) {
+    auto perm = random_permutation(n, rng);
+    perm.resize(k);
+    return perm;
+  }
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+    if (chosen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace kcore::util

@@ -1,0 +1,142 @@
+// Deterministic, cross-platform pseudo-random number generation.
+//
+// We deliberately avoid std::mt19937 + std::uniform_int_distribution in
+// library code: distribution implementations differ across standard
+// libraries, which would make experiment results non-reproducible across
+// toolchains. Instead we ship SplitMix64 (seeding / cheap streams) and
+// xoshiro256** (main generator), with in-house bounded-integer and unit-
+// interval helpers whose outputs are fully specified by this code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kcore::util {
+
+/// SplitMix64: tiny 64-bit generator; primarily used to expand a user seed
+/// into the 256-bit state of Xoshiro256 and to derive independent
+/// sub-streams (one per simulated host, per run, ...).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator, so it can also feed
+/// standard algorithms when exact reproducibility is not required.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 expansion; any 64-bit seed (including 0) is fine.
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : state_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method; bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    KCORE_DCHECK(bound > 0);
+    // Lemire 2019: unbiased bounded generation with rare rejection.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) noexcept {
+    KCORE_DCHECK(lo <= hi);
+    const auto span =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // never overflows for lo<=hi
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Derive an independent generator for a numbered sub-stream. Streams are
+  /// decorrelated by hashing (seed-ish state, stream index) through SplitMix.
+  [[nodiscard]] Xoshiro256 fork(std::uint64_t stream) noexcept {
+    SplitMix64 sm(next() ^ (0x9e3779b97f4a7c15ULL + stream));
+    return Xoshiro256(sm.next());
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher–Yates shuffle with our own generator (std::shuffle's exact output
+/// is implementation-defined; this one is reproducible everywhere).
+template <typename T>
+void shuffle(std::vector<T>& items, Xoshiro256& rng) {
+  if (items.size() < 2) return;
+  for (std::size_t i = items.size() - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i + 1));
+    using std::swap;
+    swap(items[i], items[j]);
+  }
+}
+
+/// Identity permutation of size n, shuffled: a random processing order.
+[[nodiscard]] std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                                            Xoshiro256& rng);
+
+/// Sample k distinct values from [0, n) (k <= n), in random order.
+[[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
+    std::size_t n, std::size_t k, Xoshiro256& rng);
+
+}  // namespace kcore::util

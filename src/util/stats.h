@@ -1,0 +1,125 @@
+// Streaming statistics accumulators used by the experiment harness.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kcore::util {
+
+/// Welford-style single-pass accumulator: count, mean, variance, min, max.
+/// Numerically stable; O(1) per observation.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merge another accumulator (parallel Welford combination).
+  void merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto na = static_cast<double>(count_);
+    const auto nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket integer histogram for degree / coreness distributions.
+/// Values above the configured cap are clamped into the final bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_buckets) : buckets_(num_buckets, 0) {
+    KCORE_CHECK(num_buckets > 0);
+  }
+
+  void add(std::size_t value) noexcept {
+    const std::size_t idx =
+        value < buckets_.size() ? value : buckets_.size() - 1;
+    ++buckets_[idx];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    KCORE_CHECK(i < buckets_.size());
+    return buckets_[i];
+  }
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Smallest value v such that at least `q` (0..1] of the mass is <= v.
+  [[nodiscard]] std::size_t quantile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile over a stored sample (used for per-node message counts,
+/// where the harness wants exact p50/p95/max over ~1e6 values).
+class Sample {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// Percentile by nearest-rank (p in [0,100]); requires non-empty sample.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double min() const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace kcore::util

@@ -1,0 +1,54 @@
+// ASCII table and CSV rendering for the experiment harness.
+//
+// Every bench binary prints its paper table through TableWriter so that the
+// output format is consistent and directly comparable with the paper's
+// layout. CSV export feeds external plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kcore::util {
+
+/// Column-aligned ASCII table with a header row.
+///
+/// Usage:
+///   TableWriter t({"name", "|V|", "t_avg"});
+///   t.add_row({"CA-AstroPh", "18772", "19.55"});
+///   t.print(std::cout);
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Append one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with padded columns, a rule under the header, and `indent`
+  /// leading spaces on every line.
+  void print(std::ostream& os, int indent = 2) const;
+
+  /// Render as RFC-4180-ish CSV (fields containing comma/quote/newline are
+  /// quoted, embedded quotes doubled).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` digits after the decimal point.
+[[nodiscard]] std::string fmt_double(double v, int digits = 2);
+
+/// Format an integer with thousands separators: 1234567 -> "1 234 567"
+/// (the paper uses thin spaces in Table 1; we use plain spaces).
+[[nodiscard]] std::string fmt_grouped(std::uint64_t v);
+
+/// Format a ratio in [0,1] as a percentage with two decimals: "14.12%".
+/// Values that round to 0 render as "" (the paper leaves such cells empty).
+[[nodiscard]] std::string fmt_percent_or_blank(double ratio);
+
+}  // namespace kcore::util

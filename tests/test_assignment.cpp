@@ -1,0 +1,97 @@
+#include "core/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace kcore::core {
+namespace {
+
+TEST(Assignment, ModuloMatchesPaperPolicy) {
+  // §3.2.2: "each node u is assigned to host (u mod |H|)".
+  const auto owner = assign_nodes(10, 3, AssignmentPolicy::kModulo);
+  for (graph::NodeId u = 0; u < 10; ++u) {
+    EXPECT_EQ(owner[u], u % 3);
+  }
+}
+
+TEST(Assignment, BlockIsContiguousAndBalanced) {
+  const auto owner = assign_nodes(10, 3, AssignmentPolicy::kBlock);
+  // Sizes 4,3,3; contiguous ranges.
+  EXPECT_TRUE(std::is_sorted(owner.begin(), owner.end()));
+  std::vector<int> counts(3, 0);
+  for (const auto h : owner) ++counts[h];
+  EXPECT_EQ(counts, (std::vector<int>{4, 3, 3}));
+}
+
+TEST(Assignment, EveryPolicyCoversAllHostsWhenPossible) {
+  for (const auto policy :
+       {AssignmentPolicy::kModulo, AssignmentPolicy::kBlock,
+        AssignmentPolicy::kRandom, AssignmentPolicy::kHash}) {
+    const auto owner = assign_nodes(1000, 16, policy, 7);
+    std::vector<std::size_t> counts(16, 0);
+    for (const auto h : owner) {
+      ASSERT_LT(h, 16U);
+      ++counts[h];
+    }
+    for (sim::HostId h = 0; h < 16; ++h) {
+      EXPECT_GT(counts[h], 0U) << to_string(policy) << " host " << h;
+    }
+  }
+}
+
+TEST(Assignment, ModuloAndBlockAreBalancedWithinOne) {
+  for (const auto policy :
+       {AssignmentPolicy::kModulo, AssignmentPolicy::kBlock}) {
+    const auto owner = assign_nodes(1003, 7, policy);
+    std::vector<std::size_t> counts(7, 0);
+    for (const auto h : owner) ++counts[h];
+    const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+    EXPECT_LE(*hi - *lo, 1U) << to_string(policy);
+  }
+}
+
+TEST(Assignment, RandomIsSeededDeterministically) {
+  const auto a = assign_nodes(500, 8, AssignmentPolicy::kRandom, 3);
+  const auto b = assign_nodes(500, 8, AssignmentPolicy::kRandom, 3);
+  const auto c = assign_nodes(500, 8, AssignmentPolicy::kRandom, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Assignment, HashIgnoresSeedlessStructure) {
+  const auto owner = assign_nodes(512, 4, AssignmentPolicy::kHash, 1);
+  // Hash must not be the identity-modulo pattern.
+  bool differs = false;
+  for (graph::NodeId u = 0; u < 512; ++u) {
+    if (owner[u] != u % 4) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Assignment, SingleHostOwnsEverything) {
+  for (const auto policy :
+       {AssignmentPolicy::kModulo, AssignmentPolicy::kBlock,
+        AssignmentPolicy::kRandom, AssignmentPolicy::kHash}) {
+    const auto owner = assign_nodes(50, 1, policy, 1);
+    for (const auto h : owner) EXPECT_EQ(h, 0U);
+  }
+}
+
+TEST(Assignment, RejectsZeroHosts) {
+  EXPECT_THROW(assign_nodes(10, 0, AssignmentPolicy::kModulo),
+               util::CheckError);
+}
+
+TEST(Assignment, ToStringNames) {
+  EXPECT_STREQ(to_string(AssignmentPolicy::kModulo), "modulo");
+  EXPECT_STREQ(to_string(AssignmentPolicy::kBlock), "block");
+  EXPECT_STREQ(to_string(AssignmentPolicy::kRandom), "random");
+  EXPECT_STREQ(to_string(AssignmentPolicy::kHash), "hash");
+}
+
+}  // namespace
+}  // namespace kcore::core

@@ -1,0 +1,42 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace kcore::util {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(KCORE_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(KCORE_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    KCORE_CHECK(2 > 3);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, StreamedContextAppears) {
+  try {
+    const int x = 41;
+    KCORE_CHECK_MSG(x == 42, "x=" << x);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("x=41"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsLogicError) {
+  EXPECT_THROW(KCORE_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace kcore::util

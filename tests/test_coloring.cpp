@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "seq/kcore_seq.h"
+
+namespace kcore::seq {
+namespace {
+
+namespace gen = kcore::graph::gen;
+using graph::Graph;
+using graph::NodeId;
+
+void expect_proper_coloring(const Graph& g, const std::vector<NodeId>& color,
+                            NodeId max_colors) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_LT(color[u], max_colors) << "node " << u;
+    for (const NodeId v : g.neighbors(u)) {
+      ASSERT_NE(color[u], color[v]) << "edge " << u << "-" << v;
+    }
+  }
+}
+
+TEST(DegeneracyColoring, ProperAndBoundedOnKnownFamilies) {
+  // Degeneracy (= max coreness) + 1 colors suffice.
+  expect_proper_coloring(gen::chain(20), degeneracy_coloring(gen::chain(20)),
+                         2);
+  expect_proper_coloring(gen::cycle(9), degeneracy_coloring(gen::cycle(9)),
+                         3);
+  expect_proper_coloring(gen::star(15), degeneracy_coloring(gen::star(15)),
+                         2);
+  expect_proper_coloring(gen::grid(7, 8), degeneracy_coloring(gen::grid(7, 8)),
+                         3);
+}
+
+TEST(DegeneracyColoring, CliqueNeedsExactlyN) {
+  const Graph g = gen::clique(7);
+  const auto color = degeneracy_coloring(g);
+  expect_proper_coloring(g, color, 7);
+  // All 7 colors appear (clique chromatic number = n).
+  auto sorted = color;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId c = 0; c < 7; ++c) EXPECT_EQ(sorted[c], c);
+}
+
+TEST(DegeneracyColoring, BipartiteGetsTwoColorsViaLowDegeneracy) {
+  // Trees have degeneracy 1 => 2 colors.
+  const Graph tree = gen::barabasi_albert(200, 1, 3);
+  const auto color = degeneracy_coloring(tree);
+  expect_proper_coloring(tree, color, 2);
+}
+
+TEST(DegeneracyColoring, BoundedByMaxCorenessPlusOne) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = gen::erdos_renyi_gnm(250, 700, seed);
+    const auto coreness = coreness_bz(g);
+    const auto kmax = summarize_coreness(coreness).k_max;
+    const auto color = degeneracy_coloring(g);
+    expect_proper_coloring(g, color, kmax + 1);
+  }
+}
+
+TEST(DegeneracyColoring, HandlesIsolatedNodes) {
+  const Graph g = Graph::from_edges(5, std::vector<graph::Edge>{{0, 1}});
+  const auto color = degeneracy_coloring(g);
+  expect_proper_coloring(g, color, 2);
+  for (NodeId u = 2; u < 5; ++u) EXPECT_EQ(color[u], 0U);
+}
+
+}  // namespace
+}  // namespace kcore::seq

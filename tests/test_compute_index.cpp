@@ -1,0 +1,104 @@
+#include "core/compute_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "seq/kcore_seq.h"
+
+namespace kcore::core {
+namespace {
+
+TEST(ComputeIndex, IsolatedNodeIsZero) {
+  EXPECT_EQ(compute_index({}, 0), 0U);
+}
+
+TEST(ComputeIndex, SingleNeighborIsOne) {
+  const std::vector<NodeId> est{kEstimateInfinity};
+  EXPECT_EQ(compute_index(est, 1), 1U);
+  const std::vector<NodeId> est2{5};
+  EXPECT_EQ(compute_index(est2, 1), 1U);
+}
+
+TEST(ComputeIndex, AllInfinityReturnsCap) {
+  // With no information, the index equals min(k, degree).
+  const std::vector<NodeId> est(7, kEstimateInfinity);
+  EXPECT_EQ(compute_index(est, 7), 7U);
+  EXPECT_EQ(compute_index(est, 4), 4U);
+}
+
+TEST(ComputeIndex, LargestISuchThatCountAtLeastI) {
+  // Estimates {3,3,3,1}: three neighbors >= 3 -> index 3.
+  const std::vector<NodeId> est{3, 3, 3, 1};
+  EXPECT_EQ(compute_index(est, 4), 3U);
+  // Estimates {2,2,3}: three >= 2 but only one >= 3 -> index 2.
+  const std::vector<NodeId> est2{2, 2, 3};
+  EXPECT_EQ(compute_index(est2, 3), 2U);
+}
+
+TEST(ComputeIndex, CapClampsResult) {
+  const std::vector<NodeId> est{9, 9, 9, 9, 9};
+  EXPECT_EQ(compute_index(est, 3), 3U);
+  EXPECT_EQ(compute_index(est, 5), 5U);
+}
+
+TEST(ComputeIndex, PaperFigure2FirstUpdate) {
+  // Node 2 of the §3.1.1 example: degree 3, neighbors send {1, 3, 3}
+  // (node 1's degree is 1): index drops to 2.
+  const std::vector<NodeId> est{1, 3, 3};
+  EXPECT_EQ(compute_index(est, 3), 2U);
+}
+
+TEST(ComputeIndex, MinimumIsOneForNonIsolated) {
+  // Even if all neighbors report tiny estimates, a node with an edge has
+  // coreness >= 1 and computeIndex never returns below 1 when k >= 1.
+  const std::vector<NodeId> est{1, 1, 1};
+  EXPECT_EQ(compute_index(est, 5), 1U);
+}
+
+TEST(ComputeIndex, MonotoneInEstimates) {
+  // Lowering any single estimate can only lower (or keep) the result.
+  const std::vector<NodeId> base{4, 3, 5, 2, 4};
+  const NodeId k = 5;
+  const NodeId r0 = compute_index(base, k);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (NodeId lower = 0; lower < base[i]; ++lower) {
+      auto modified = base;
+      modified[i] = lower;
+      EXPECT_LE(compute_index(modified, k), r0);
+    }
+  }
+}
+
+TEST(ComputeIndex, CapEqualsSequentialApplication) {
+  // min(k, I(est)) == applying with intermediate caps; this is the
+  // equivalence that justifies the once-per-round recompute optimization.
+  const std::vector<NodeId> est{6, 2, 4, 4, 7, 1, 3};
+  const NodeId direct = compute_index(est, 7);
+  NodeId staged = 7;
+  for (int i = 0; i < 4; ++i) staged = compute_index(est, staged);
+  EXPECT_EQ(staged, direct);
+}
+
+TEST(ComputeIndex, ScratchReuseMatchesFreshAllocation) {
+  std::vector<NodeId> scratch;
+  const std::vector<NodeId> a{5, 5, 5};
+  const std::vector<NodeId> b{1, 2, 3, 4};
+  EXPECT_EQ(compute_index(a, 3, scratch), compute_index(a, 3));
+  EXPECT_EQ(compute_index(b, 4, scratch), compute_index(b, 4));
+}
+
+TEST(ComputeIndex, FixedPointIsCorenessEverywhere) {
+  // Feed computeIndex the TRUE coreness of all neighbors with the node's
+  // degree as cap: by Theorem 1 the result must be the node's coreness.
+  const auto g = graph::gen::barabasi_albert(300, 3, 7);
+  const auto c = seq::coreness_bz(g);
+  std::vector<NodeId> est;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    est.clear();
+    for (const auto v : g.neighbors(u)) est.push_back(c[v]);
+    ASSERT_EQ(compute_index(est, g.degree(u)), c[u]) << "node " << u;
+  }
+}
+
+}  // namespace
+}  // namespace kcore::core

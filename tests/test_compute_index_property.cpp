@@ -1,0 +1,99 @@
+// Property testing for computeIndex (Algorithm 2) against a brute-force
+// reference built straight from the prose: "the largest value i such that
+// there are at least i entries equal or larger than i in est", capped at
+// the current estimate k.
+#include <gtest/gtest.h>
+
+#include "core/compute_index.h"
+#include "util/rng.h"
+
+namespace kcore::core {
+namespace {
+
+/// O(k * d) literal transcription of the definition.
+NodeId brute_force_index(std::span<const NodeId> est, NodeId k) {
+  if (k == 0) return 0;
+  for (NodeId i = k; i >= 1; --i) {
+    NodeId count = 0;
+    for (const NodeId e : est) {
+      if (std::min(e, k) >= i) ++count;
+    }
+    if (count >= i) return i;
+  }
+  return 1;  // Algorithm 2's while loop stops at i = 1
+}
+
+struct SweepCase {
+  std::size_t degree;
+  NodeId value_range;  // estimates drawn from [0, value_range]
+};
+
+class ComputeIndexSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ComputeIndexSweep, MatchesBruteForce) {
+  util::Xoshiro256 rng(GetParam().degree * 1000 + GetParam().value_range);
+  std::vector<NodeId> est(GetParam().degree);
+  std::vector<NodeId> scratch;
+  for (int trial = 0; trial < 300; ++trial) {
+    for (auto& e : est) {
+      // Mix finite estimates with occasional +infinity entries.
+      e = rng.next_bool(0.1)
+              ? kEstimateInfinity
+              : static_cast<NodeId>(
+                    rng.next_below(GetParam().value_range + 1));
+    }
+    const auto k = static_cast<NodeId>(
+        rng.next_below(GetParam().degree + 2));
+    ASSERT_EQ(compute_index(est, k, scratch), brute_force_index(est, k))
+        << "degree=" << GetParam().degree << " k=" << k << " trial "
+        << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ComputeIndexSweep,
+    ::testing::Values(SweepCase{1, 3}, SweepCase{2, 2}, SweepCase{3, 8},
+                      SweepCase{8, 4}, SweepCase{16, 16}, SweepCase{64, 5},
+                      SweepCase{64, 100}, SweepCase{200, 20}),
+    [](const auto& suite_info) {
+      return "d" + std::to_string(suite_info.param.degree) + "_r" +
+             std::to_string(suite_info.param.value_range);
+    });
+
+TEST(ComputeIndexProperty, ResultNeverExceedsCapOrDegree) {
+  util::Xoshiro256 rng(1);
+  std::vector<NodeId> scratch;
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto d = static_cast<std::size_t>(rng.next_below(40));
+    std::vector<NodeId> est(d);
+    for (auto& e : est) e = static_cast<NodeId>(rng.next_below(50));
+    const auto k = static_cast<NodeId>(rng.next_below(50));
+    const NodeId r = compute_index(est, k, scratch);
+    EXPECT_LE(r, k);
+    if (k > 0 && !est.empty()) {
+      EXPECT_GE(r, 1U);
+    }
+    if (k > 0 && est.empty()) {
+      // No neighbors: Algorithm 2's loop floor is 1 for k >= 1.
+      EXPECT_EQ(r, 1U);
+    }
+  }
+}
+
+TEST(ComputeIndexProperty, MonotoneInCap) {
+  util::Xoshiro256 rng(2);
+  std::vector<NodeId> scratch;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<NodeId> est(12);
+    for (auto& e : est) e = static_cast<NodeId>(rng.next_below(12));
+    NodeId prev = 0;
+    for (NodeId k = 0; k <= 13; ++k) {
+      const NodeId r = compute_index(est, k, scratch);
+      EXPECT_GE(r, prev);  // larger cap can only allow a larger index
+      prev = r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kcore::core

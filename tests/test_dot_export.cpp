@@ -1,0 +1,95 @@
+#include "graph/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "seq/kcore_seq.h"
+#include "util/check.h"
+
+namespace kcore::graph {
+namespace {
+
+namespace gen = kcore::graph::gen;
+
+TEST(DotExport, EmitsValidSkeleton) {
+  const Graph g = gen::clique(4);
+  std::ostringstream out;
+  write_dot(out, g, seq::coreness_bz(g));
+  const std::string dot = out.str();
+  EXPECT_EQ(dot.find("graph kcore {"), 0U);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(DotExport, EdgeCountMatches) {
+  const Graph g = gen::grid(4, 4);
+  std::ostringstream out;
+  write_dot(out, g, {});
+  std::size_t edges = 0;
+  std::size_t pos = 0;
+  const std::string dot = out.str();
+  while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, g.num_edges());
+}
+
+TEST(DotExport, ShellClustersAppear) {
+  // K4 + tail: shells 1 and 3 exist.
+  GraphBuilder b(6);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) b.add_edge(i, j);
+  }
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  std::ostringstream out;
+  write_dot(out, g, seq::coreness_bz(g));
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("cluster_shell_1"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_shell_3"), std::string::npos);
+  EXPECT_EQ(dot.find("cluster_shell_2"), std::string::npos);
+}
+
+TEST(DotExport, MaxNodesCapsOutput) {
+  const Graph g = gen::chain(100);
+  DotOptions options;
+  options.max_nodes = 10;
+  std::ostringstream out;
+  write_dot(out, g, {}, options);
+  EXPECT_EQ(out.str().find("n50"), std::string::npos);
+  EXPECT_NE(out.str().find("n9"), std::string::npos);
+}
+
+TEST(DotExport, RejectsMismatchedCoreness) {
+  const Graph g = gen::clique(4);
+  std::ostringstream out;
+  EXPECT_THROW(write_dot(out, g, std::vector<NodeId>{1, 2}),
+               util::CheckError);
+}
+
+TEST(DotExport, ShellColorsSpanHueRange) {
+  EXPECT_EQ(shell_color(0, 0), "0.660 0.6 0.95");  // degenerate: all blue
+  EXPECT_EQ(shell_color(0, 10), "0.660 0.6 0.95");
+  EXPECT_EQ(shell_color(10, 10), "0.000 0.6 0.95");
+  EXPECT_NE(shell_color(5, 10), shell_color(6, 10));
+}
+
+TEST(DotExport, FileWrapperWrites) {
+  const Graph g = gen::cycle(5);
+  const std::string path = ::testing::TempDir() + "/kcore_dot_test.dot";
+  write_dot_file(path, g, seq::coreness_bz(g));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "graph kcore {");
+}
+
+}  // namespace
+}  // namespace kcore::graph

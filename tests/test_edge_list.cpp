@@ -1,0 +1,107 @@
+#include "graph/edge_list.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "util/check.h"
+
+namespace kcore::graph {
+namespace {
+
+TEST(EdgeList, ParsesSimpleInput) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  const auto loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.graph.num_nodes(), 3U);
+  EXPECT_EQ(loaded.graph.num_edges(), 3U);
+}
+
+TEST(EdgeList, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# SNAP-style comment\n"
+      "% matrix-market-style comment\n"
+      "\n"
+      "0 1\n"
+      "   \t  \n"
+      "1 2\n");
+  const auto loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.graph.num_edges(), 2U);
+}
+
+TEST(EdgeList, RemapsSparseIds) {
+  std::istringstream in("100 200\n200 4700\n");
+  const auto loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.graph.num_nodes(), 3U);
+  ASSERT_EQ(loaded.original_ids.size(), 3U);
+  EXPECT_EQ(loaded.original_ids[0], 100U);
+  EXPECT_EQ(loaded.original_ids[1], 200U);
+  EXPECT_EQ(loaded.original_ids[2], 4700U);
+  EXPECT_TRUE(loaded.graph.has_edge(0, 1));
+  EXPECT_TRUE(loaded.graph.has_edge(1, 2));
+  EXPECT_FALSE(loaded.graph.has_edge(0, 2));
+}
+
+TEST(EdgeList, RejectsMalformedLine) {
+  std::istringstream in("0 1\nnot-an-edge\n");
+  EXPECT_THROW(read_edge_list(in), util::CheckError);
+}
+
+TEST(EdgeList, RejectsHalfEdge) {
+  std::istringstream in("0\n");
+  EXPECT_THROW(read_edge_list(in), util::CheckError);
+}
+
+TEST(EdgeList, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("# nothing\n");
+  const auto loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.graph.num_edges(), 0U);
+}
+
+TEST(EdgeList, WriteReadRoundtrip) {
+  const Graph original = gen::erdos_renyi_gnm(200, 600, 17);
+  std::stringstream buffer;
+  write_edge_list(buffer, original);
+  const auto loaded = read_edge_list(buffer);
+  // The loader interns ids in order of appearance, so node ids come back
+  // permuted; original_ids provides the inverse mapping. The graphs must
+  // be isomorphic under it.
+  EXPECT_EQ(loaded.graph.num_edges(), original.num_edges());
+  std::vector<NodeId> dense_of(original.num_nodes(), kInvalidNode);
+  for (NodeId dense = 0; dense < loaded.graph.num_nodes(); ++dense) {
+    dense_of[loaded.original_ids[dense]] = dense;
+  }
+  for (NodeId u = 0; u < original.num_nodes(); ++u) {
+    for (NodeId v : original.neighbors(u)) {
+      if (u < v) {
+        ASSERT_NE(dense_of[u], kInvalidNode);
+        ASSERT_NE(dense_of[v], kInvalidNode);
+        EXPECT_TRUE(loaded.graph.has_edge(dense_of[u], dense_of[v]))
+            << "missing edge " << u << "-" << v;
+      }
+    }
+  }
+}
+
+TEST(EdgeList, DuplicatesCollapseOnLoad) {
+  std::istringstream in("0 1\n1 0\n0 1\n");
+  const auto loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.graph.num_edges(), 1U);
+}
+
+TEST(EdgeList, FileRoundtrip) {
+  const Graph original = gen::clique(10);
+  const std::string path = ::testing::TempDir() + "/kcore_edge_list_test.txt";
+  write_edge_list_file(path, original);
+  const auto loaded = read_edge_list_file(path);
+  EXPECT_EQ(loaded.graph.num_edges(), original.num_edges());
+  EXPECT_EQ(loaded.graph.num_nodes(), original.num_nodes());
+}
+
+TEST(EdgeList, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/nope.txt"),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace kcore::graph

@@ -1,0 +1,97 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "graph/generators.h"
+
+namespace kcore::graph {
+namespace {
+
+namespace gen = kcore::graph::gen;
+
+TEST(Components, SingleComponent) {
+  const auto c = connected_components(gen::cycle(10));
+  EXPECT_EQ(c.num_components, 1U);
+  EXPECT_EQ(c.largest_size, 10U);
+}
+
+TEST(Components, MultipleComponents) {
+  const std::array<NodeId, 3> sizes{4, 6, 2};
+  const auto c = connected_components(gen::disjoint_cliques(sizes));
+  EXPECT_EQ(c.num_components, 3U);
+  EXPECT_EQ(c.largest_size, 6U);
+  // Nodes of the same clique share a label; different cliques differ.
+  EXPECT_EQ(c.component_of[0], c.component_of[3]);
+  EXPECT_NE(c.component_of[0], c.component_of[4]);
+}
+
+TEST(Components, IsolatedNodesAreOwnComponents) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}});
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.num_components, 3U);
+}
+
+TEST(Bfs, DistancesOnChain) {
+  const auto d = bfs_distances(gen::chain(6), 0);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(d[u], u);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1U);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Eccentricity, CenterVsEndOfChain) {
+  const Graph g = gen::chain(9);
+  EXPECT_EQ(eccentricity(g, 0), 8U);
+  EXPECT_EQ(eccentricity(g, 4), 4U);
+}
+
+TEST(ExactDiameter, KnownGraphs) {
+  EXPECT_EQ(exact_diameter(gen::chain(10)), 9U);
+  EXPECT_EQ(exact_diameter(gen::cycle(10)), 5U);
+  EXPECT_EQ(exact_diameter(gen::clique(8)), 1U);
+  EXPECT_EQ(exact_diameter(gen::star(20)), 2U);
+  EXPECT_EQ(exact_diameter(gen::grid(4, 7)), 9U);
+}
+
+TEST(ExactDiameter, UsesLargestComponent) {
+  // chain(20) ∪ K3: largest component is the chain (diameter 19).
+  const std::array<Graph, 2> parts{gen::chain(20), gen::clique(3)};
+  EXPECT_EQ(exact_diameter(gen::disjoint_union(parts)), 19U);
+}
+
+TEST(DiameterLowerBound, ExactOnTreesAndTightOnChains) {
+  // Double sweep is exact on trees; a chain is a tree.
+  EXPECT_EQ(diameter_lower_bound(gen::chain(50), 3), 49U);
+}
+
+TEST(DiameterLowerBound, NeverExceedsExact) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = gen::erdos_renyi_gnm(120, 300, seed);
+    EXPECT_LE(diameter_lower_bound(g, seed), exact_diameter(g));
+  }
+}
+
+TEST(DegreeSummary, CountsMinDegreeNodes) {
+  const auto s = degree_summary(gen::star(6));
+  EXPECT_EQ(s.min, 1U);
+  EXPECT_EQ(s.max, 5U);
+  EXPECT_EQ(s.num_min_degree_nodes, 5U);  // K of Corollary 1
+  EXPECT_NEAR(s.avg, 10.0 / 6.0, 1e-12);
+}
+
+TEST(DegreeSummary, RegularGraph) {
+  const auto s = degree_summary(gen::ring_lattice(30, 4));
+  EXPECT_EQ(s.min, 4U);
+  EXPECT_EQ(s.max, 4U);
+  EXPECT_EQ(s.num_min_degree_nodes, 30U);
+}
+
+}  // namespace
+}  // namespace kcore::graph

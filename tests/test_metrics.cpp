@@ -1,0 +1,105 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace kcore::graph {
+namespace {
+
+namespace gen = kcore::graph::gen;
+
+TEST(Triangles, KnownCounts) {
+  EXPECT_EQ(triangle_count(gen::clique(3)), 1U);
+  EXPECT_EQ(triangle_count(gen::clique(4)), 4U);
+  EXPECT_EQ(triangle_count(gen::clique(6)), 20U);  // C(6,3)
+  EXPECT_EQ(triangle_count(gen::chain(10)), 0U);
+  EXPECT_EQ(triangle_count(gen::cycle(5)), 0U);
+  EXPECT_EQ(triangle_count(gen::star(10)), 0U);
+  EXPECT_EQ(triangle_count(gen::complete_bipartite(3, 4)), 0U);
+  EXPECT_EQ(triangle_count(gen::grid(5, 5)), 0U);
+}
+
+TEST(Triangles, PerNodeInClique) {
+  const auto tri = triangles_per_node(gen::clique(5));
+  for (const auto t : tri) EXPECT_EQ(t, 6U);  // C(4,2)
+}
+
+TEST(Triangles, PerNodeSumsToThreeTimesTotal) {
+  const Graph g = gen::erdos_renyi_gnm(150, 800, 3);
+  const auto per_node = triangles_per_node(g);
+  std::uint64_t sum = 0;
+  for (const auto t : per_node) sum += t;
+  EXPECT_EQ(sum, 3 * triangle_count(g));
+}
+
+TEST(Clustering, CliqueIsOne) {
+  EXPECT_DOUBLE_EQ(average_clustering(gen::clique(8)), 1.0);
+  EXPECT_DOUBLE_EQ(transitivity(gen::clique(8)), 1.0);
+}
+
+TEST(Clustering, TriangleFreeIsZero) {
+  EXPECT_DOUBLE_EQ(average_clustering(gen::grid(6, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(transitivity(gen::complete_bipartite(4, 5)), 0.0);
+}
+
+TEST(Clustering, KiteValue) {
+  // Triangle with one pendant: pendant has c=0, its attachment has
+  // c = 1 / C(3,2) = 1/3, other corners have c = 1.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  const auto c = local_clustering(b.build());
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c[3], 0.0);
+}
+
+TEST(Clustering, AffiliationBeatsER) {
+  // Collaboration models must cluster far more than ER at equal density —
+  // this is the structural property the astroph profile relies on.
+  const Graph social = gen::affiliation(400, 100, 2, 5);
+  const Graph random_graph =
+      gen::erdos_renyi_gnm(400, social.num_edges(), 5);
+  EXPECT_GT(average_clustering(social),
+            5.0 * average_clustering(random_graph));
+}
+
+TEST(Assortativity, RegularGraphDegenerate) {
+  EXPECT_DOUBLE_EQ(degree_assortativity(gen::ring_lattice(30, 4)), 0.0);
+}
+
+TEST(Assortativity, StarIsMaximallyDisassortative) {
+  EXPECT_NEAR(degree_assortativity(gen::star(20)), -1.0, 1e-9);
+}
+
+TEST(Assortativity, InMinusOneToOne) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const double r =
+        degree_assortativity(gen::barabasi_albert(300, 3, seed));
+    EXPECT_GE(r, -1.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(DegreeHistogram, CountsMatch) {
+  const auto histogram = degree_histogram(gen::star(6));
+  ASSERT_EQ(histogram.size(), 6U);
+  EXPECT_EQ(histogram[1], 5U);
+  EXPECT_EQ(histogram[5], 1U);
+  std::uint64_t total = 0;
+  for (const auto c : histogram) total += c;
+  EXPECT_EQ(total, 6U);
+}
+
+TEST(DegreeHistogram, EmptyGraph) {
+  const auto histogram = degree_histogram(Graph{});
+  ASSERT_EQ(histogram.size(), 1U);
+  EXPECT_EQ(histogram[0], 0U);
+}
+
+}  // namespace
+}  // namespace kcore::graph

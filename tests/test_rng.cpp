@@ -1,0 +1,152 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace kcore::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value from the public-domain splitmix64 reference code.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(999);
+  Xoshiro256 b(999);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0U);
+}
+
+TEST(Xoshiro256, NextInRangeInclusive) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U[0,1) should be close to 0.5.
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Xoshiro256, ForkedStreamsDecorrelated) {
+  Xoshiro256 parent(23);
+  auto s1 = parent.fork(0);
+  auto s2 = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1.next() == s2.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Xoshiro256 rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  shuffle(shuffled, rng);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+}
+
+TEST(Shuffle, HandlesTinyInputs) {
+  Xoshiro256 rng(31);
+  std::vector<int> empty;
+  shuffle(empty, rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  shuffle(one, rng);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RandomPermutation, IsPermutationAndSeeded) {
+  Xoshiro256 rng1(37);
+  Xoshiro256 rng2(37);
+  const auto p1 = random_permutation(50, rng1);
+  const auto p2 = random_permutation(50, rng2);
+  EXPECT_EQ(p1, p2);
+  std::set<std::uint32_t> unique(p1.begin(), p1.end());
+  EXPECT_EQ(unique.size(), 50U);
+  EXPECT_EQ(*unique.begin(), 0U);
+  EXPECT_EQ(*unique.rbegin(), 49U);
+}
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+  Xoshiro256 rng(41);
+  for (std::size_t n : {10UL, 100UL, 1000UL}) {
+    for (std::size_t k : {0UL, 1UL, 5UL, n / 2, n}) {
+      Xoshiro256 local = rng.fork(n * 1000 + k);
+      const auto sample = sample_without_replacement(n, k, local);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::uint32_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (const auto v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacement, RejectsOversample) {
+  Xoshiro256 rng(43);
+  EXPECT_THROW(sample_without_replacement(5, 6, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace kcore::util

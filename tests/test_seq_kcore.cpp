@@ -1,0 +1,301 @@
+#include "seq/kcore_seq.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "graph/generators.h"
+
+namespace kcore::seq {
+namespace {
+
+namespace gen = kcore::graph::gen;
+using graph::Graph;
+using graph::NodeId;
+
+// ---------------------------------------------------------------------------
+// Families with analytically known coreness
+// ---------------------------------------------------------------------------
+
+void expect_uniform_coreness(const Graph& g, NodeId expected) {
+  const auto c = coreness_bz(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(c[u], expected) << "node " << u;
+  }
+}
+
+TEST(CorenessBZ, IsolatedNodesAreZero) {
+  const Graph g = Graph::from_edges(3, std::vector<graph::Edge>{});
+  expect_uniform_coreness(g, 0);
+}
+
+TEST(CorenessBZ, ChainIsOne) { expect_uniform_coreness(gen::chain(20), 1); }
+
+TEST(CorenessBZ, StarIsOne) { expect_uniform_coreness(gen::star(15), 1); }
+
+TEST(CorenessBZ, AnyTreeIsOne) {
+  // BA with attachment 1 generates a random tree.
+  expect_uniform_coreness(gen::barabasi_albert(200, 1, 3), 1);
+}
+
+TEST(CorenessBZ, CycleIsTwo) { expect_uniform_coreness(gen::cycle(17), 2); }
+
+TEST(CorenessBZ, CliqueIsNMinusOne) {
+  expect_uniform_coreness(gen::clique(9), 8);
+}
+
+TEST(CorenessBZ, CompleteBipartiteIsMinSide) {
+  expect_uniform_coreness(gen::complete_bipartite(3, 8), 3);
+  expect_uniform_coreness(gen::complete_bipartite(5, 5), 5);
+  expect_uniform_coreness(gen::complete_bipartite(1, 9), 1);
+}
+
+TEST(CorenessBZ, GridIsTwo) {
+  expect_uniform_coreness(gen::grid(6, 8), 2);
+}
+
+TEST(CorenessBZ, RegularGraphIsDegree) {
+  for (const NodeId d : {2U, 4U, 6U}) {
+    expect_uniform_coreness(gen::ring_lattice(40, d), d);
+  }
+  expect_uniform_coreness(gen::random_regular(60, 5, 7), 5);
+}
+
+TEST(CorenessBZ, DisjointCliquesHaveHeterogeneousCoreness) {
+  const std::array<NodeId, 4> sizes{2, 3, 5, 9};
+  const Graph g = gen::disjoint_cliques(sizes);
+  const auto c = coreness_bz(g);
+  NodeId base = 0;
+  for (const NodeId s : sizes) {
+    for (NodeId i = 0; i < s; ++i) {
+      ASSERT_EQ(c[base + i], s - 1) << "clique size " << s;
+    }
+    base += s;
+  }
+}
+
+TEST(CorenessBZ, PaperFigure2Example) {
+  // The §3.1.1 example: path 1-2-3-4-5-6 with chords making nodes 2..5
+  // degree 3; converges to coreness 2 for 2,3,4,5 and 1 for 1,6.
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(1, 3);
+  b.add_edge(2, 4);
+  const Graph g = b.build();
+  ASSERT_EQ(g.degree(0), 1U);
+  ASSERT_EQ(g.degree(1), 3U);
+  ASSERT_EQ(g.degree(2), 3U);
+  ASSERT_EQ(g.degree(3), 3U);
+  ASSERT_EQ(g.degree(4), 3U);
+  ASSERT_EQ(g.degree(5), 1U);
+  const auto c = coreness_bz(g);
+  EXPECT_EQ(c, (std::vector<NodeId>{1, 2, 2, 2, 2, 1}));
+}
+
+TEST(CorenessBZ, KitePlusTail) {
+  // K4 with a path of two nodes hanging off: clique nodes have coreness 3,
+  // the tail has coreness 1.
+  graph::GraphBuilder b(6);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) b.add_edge(i, j);
+  }
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const auto c = coreness_bz(b.build());
+  EXPECT_EQ(c, (std::vector<NodeId>{3, 3, 3, 3, 1, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing: BZ vs naive peeling on random graphs
+// ---------------------------------------------------------------------------
+
+struct RandomGraphCase {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+};
+
+Graph make_er_sparse(std::uint64_t s) {
+  return gen::erdos_renyi_gnm(300, 450, s);
+}
+Graph make_er_dense(std::uint64_t s) {
+  return gen::erdos_renyi_gnm(150, 2000, s);
+}
+Graph make_ba(std::uint64_t s) { return gen::barabasi_albert(250, 4, s); }
+Graph make_rmat(std::uint64_t s) {
+  gen::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 6.0;
+  return gen::rmat(p, s);
+}
+Graph make_ws(std::uint64_t s) { return gen::watts_strogatz(200, 6, 0.2, s); }
+Graph make_affiliation(std::uint64_t s) {
+  return gen::affiliation(200, 50, 2, s);
+}
+Graph make_planted(std::uint64_t s) {
+  return gen::plant_dense_core(gen::erdos_renyi_gnm(300, 500, s), 40, 10,
+                               s + 1);
+}
+
+class CorenessDifferentialTest
+    : public ::testing::TestWithParam<RandomGraphCase> {};
+
+TEST_P(CorenessDifferentialTest, BZMatchesPeelingOracle) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = GetParam().make(seed);
+    const auto bz = coreness_bz(g);
+    const auto oracle = coreness_peeling(g);
+    ASSERT_EQ(bz, oracle) << GetParam().name << " seed " << seed;
+  }
+}
+
+TEST_P(CorenessDifferentialTest, BZSatisfiesLocalityTheorem) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = GetParam().make(seed);
+    EXPECT_TRUE(satisfies_locality(g, coreness_bz(g)))
+        << GetParam().name << " seed " << seed;
+  }
+}
+
+TEST_P(CorenessDifferentialTest, CorenessBoundedByDegree) {
+  const Graph g = GetParam().make(99);
+  const auto c = coreness_bz(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_LE(c[u], g.degree(u));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CorenessDifferentialTest,
+    ::testing::Values(RandomGraphCase{"er_sparse", make_er_sparse},
+                      RandomGraphCase{"er_dense", make_er_dense},
+                      RandomGraphCase{"ba", make_ba},
+                      RandomGraphCase{"rmat", make_rmat},
+                      RandomGraphCase{"ws", make_ws},
+                      RandomGraphCase{"affiliation", make_affiliation},
+                      RandomGraphCase{"planted", make_planted}),
+    [](const auto& suite_info) { return std::string(suite_info.param.name); });
+
+// ---------------------------------------------------------------------------
+// Locality verifier rejects wrong vectors
+// ---------------------------------------------------------------------------
+
+TEST(Locality, RejectsPerturbedVector) {
+  const Graph g = gen::erdos_renyi_gnm(100, 300, 3);
+  auto c = coreness_bz(g);
+  ASSERT_TRUE(satisfies_locality(g, c));
+  c[10] += 1;
+  EXPECT_FALSE(satisfies_locality(g, c));
+}
+
+TEST(Locality, RejectsWrongSize) {
+  const Graph g = gen::cycle(5);
+  EXPECT_FALSE(satisfies_locality(g, std::vector<NodeId>{1, 2}));
+}
+
+TEST(Locality, RejectsCorenessAboveDegree) {
+  const Graph g = gen::chain(4);
+  EXPECT_FALSE(satisfies_locality(g, std::vector<NodeId>{2, 2, 2, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Summary, membership, subgraph, degeneracy order
+// ---------------------------------------------------------------------------
+
+TEST(Summary, ShellSizesAndAverages) {
+  const std::array<NodeId, 2> sizes{3, 5};  // coreness 2 (x3) and 4 (x5)
+  const auto c = coreness_bz(gen::disjoint_cliques(sizes));
+  const auto s = summarize_coreness(c);
+  EXPECT_EQ(s.k_max, 4U);
+  ASSERT_EQ(s.shell_sizes.size(), 5U);
+  EXPECT_EQ(s.shell_sizes[2], 3U);
+  EXPECT_EQ(s.shell_sizes[4], 5U);
+  EXPECT_EQ(s.shell_sizes[0], 0U);
+  EXPECT_NEAR(s.k_avg, (2.0 * 3 + 4.0 * 5) / 8.0, 1e-12);
+}
+
+TEST(Summary, EmptyVector) {
+  const auto s = summarize_coreness({});
+  EXPECT_EQ(s.k_max, 0U);
+  EXPECT_TRUE(s.shell_sizes.empty());
+}
+
+TEST(Membership, ThresholdSemantics) {
+  const std::vector<NodeId> c{0, 1, 2, 3};
+  const auto m = kcore_membership(c, 2);
+  EXPECT_EQ(m, (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(CoreSubgraphExtraction, KeepsOnlyCoreNodesAndEdges) {
+  // K4 + tail: 3-core is exactly the K4.
+  graph::GraphBuilder b(6);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) b.add_edge(i, j);
+  }
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  const auto c = coreness_bz(g);
+  const auto sub = kcore_subgraph(g, c, 3);
+  EXPECT_EQ(sub.graph.num_nodes(), 4U);
+  EXPECT_EQ(sub.graph.num_edges(), 6U);
+  EXPECT_EQ(sub.original_of_dense.size(), 4U);
+  EXPECT_EQ(sub.dense_of_original[5], graph::kInvalidNode);
+  // Every kept node maps back consistently.
+  for (NodeId dense = 0; dense < 4; ++dense) {
+    EXPECT_EQ(sub.dense_of_original[sub.original_of_dense[dense]], dense);
+  }
+}
+
+TEST(CoreSubgraphExtraction, KZeroIsWholeGraph) {
+  const Graph g = gen::chain(5);
+  const auto sub = kcore_subgraph(g, coreness_bz(g), 0);
+  EXPECT_EQ(sub.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(sub.graph.num_edges(), g.num_edges());
+}
+
+TEST(CoreSubgraphExtraction, CoreIsActuallyACore) {
+  // Definition 1: every node of the k-core subgraph has degree >= k in it.
+  const Graph g = gen::barabasi_albert(300, 3, 13);
+  const auto c = coreness_bz(g);
+  const auto kmax = summarize_coreness(c).k_max;
+  for (NodeId k = 1; k <= kmax; ++k) {
+    const auto sub = kcore_subgraph(g, c, k);
+    for (NodeId u = 0; u < sub.graph.num_nodes(); ++u) {
+      ASSERT_GE(sub.graph.degree(u), k) << "k=" << k;
+    }
+  }
+}
+
+TEST(DegeneracyOrder, IsPermutationWithMonotoneCoreness) {
+  const Graph g = gen::barabasi_albert(200, 3, 17);
+  const auto order = degeneracy_order(g);
+  const auto c = coreness_bz(g);
+  ASSERT_EQ(order.size(), g.num_nodes());
+  std::vector<bool> seen(g.num_nodes(), false);
+  NodeId running_max = 0;
+  for (const NodeId u : order) {
+    ASSERT_FALSE(seen[u]);
+    seen[u] = true;
+    // Coreness along a degeneracy order is non-decreasing in max-so-far.
+    running_max = std::max(running_max, c[u]);
+    EXPECT_EQ(c[u], running_max == c[u] ? c[u] : c[u]);
+  }
+  // Peeling property: each node has < coreness+1 neighbors later in order
+  // ... equivalently, counting only later neighbors, degree <= coreness.
+  std::vector<NodeId> position(g.num_nodes());
+  for (NodeId i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const NodeId u : order) {
+    NodeId later = 0;
+    for (const NodeId v : g.neighbors(u)) {
+      if (position[v] > position[u]) ++later;
+    }
+    EXPECT_LE(later, c[u]) << "node " << u;
+  }
+}
+
+}  // namespace
+}  // namespace kcore::seq

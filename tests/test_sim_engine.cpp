@@ -1,0 +1,228 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kcore::sim {
+namespace {
+
+/// Sends nothing, ever.
+struct SilentHost {
+  using Message = int;
+  void on_message(HostId, const Message&) {}
+  void on_round(Context<Message>&) {}
+};
+
+/// Host 0 sends a single token to host 1 in round 1; every host records
+/// the round at which it first received a message. The engine drains a
+/// host's inbox immediately before its on_round in the same round, so
+/// stamping the pending receive with ctx.round() gives the drain round.
+struct PingHost {
+  using Message = int;
+  HostId self = 0;
+  std::uint64_t received_round = 0;
+  int received_count = 0;
+  bool pending_receive = false;
+  bool sent = false;
+
+  void on_message(HostId, const Message&) {
+    ++received_count;
+    pending_receive = true;
+  }
+  void on_round(Context<Message>& ctx) {
+    if (pending_receive && received_round == 0) {
+      received_round = ctx.round();
+    }
+    if (ctx.self() == 0 && !sent) {
+      sent = true;
+      ctx.send(1, 42);
+    }
+  }
+};
+
+/// Relays a token down the line 0 -> 1 -> ... -> n-1.
+struct RelayHost {
+  using Message = int;
+  HostId self = 0;
+  HostId num_hosts = 0;
+  bool have_token = false;
+  bool forwarded = false;
+
+  void on_message(HostId, const Message&) { have_token = true; }
+  void on_round(Context<Message>& ctx) {
+    if (ctx.self() == 0 && !forwarded) {
+      forwarded = true;
+      ctx.send(1, 7);
+      return;
+    }
+    if (have_token && !forwarded && ctx.self() + 1 < num_hosts) {
+      forwarded = true;
+      ctx.send(ctx.self() + 1, 7);
+    }
+  }
+};
+
+TEST(Engine, QuiescentFromStart) {
+  EngineConfig config;
+  config.mode = DeliveryMode::kSynchronous;
+  Engine<SilentHost> engine(std::vector<SilentHost>(4), config);
+  const auto stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.execution_time, 0U);
+  EXPECT_EQ(stats.rounds_executed, 1U);
+  EXPECT_EQ(stats.total_messages, 0U);
+}
+
+TEST(Engine, SynchronousDeliversNextRound) {
+  EngineConfig config;
+  config.mode = DeliveryMode::kSynchronous;
+  std::vector<PingHost> hosts(3);
+  for (HostId i = 0; i < 3; ++i) hosts[i].self = i;
+  Engine<PingHost> engine(std::move(hosts), config);
+  const auto stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  // Sent in round 1, drained when host 1 is processed in round 2.
+  EXPECT_EQ(engine.hosts()[1].received_round, 2U);
+  EXPECT_EQ(engine.hosts()[1].received_count, 1);
+  EXPECT_EQ(engine.hosts()[2].received_count, 0);
+  EXPECT_EQ(stats.execution_time, 1U);
+  EXPECT_EQ(stats.total_messages, 1U);
+  EXPECT_EQ(stats.sent_by_host[0], 1U);
+  EXPECT_EQ(stats.sent_by_host[1], 0U);
+}
+
+TEST(Engine, CycleModeCanDeliverSameRound) {
+  // Over many seeds, host 1 sometimes receives in round 1 (processed after
+  // host 0) and sometimes in round 2 (processed before) — both must occur.
+  bool same_round = false;
+  bool next_round = false;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    EngineConfig config;
+    config.mode = DeliveryMode::kCycleRandomOrder;
+    config.seed = seed;
+    std::vector<PingHost> hosts(2);
+    for (HostId i = 0; i < 2; ++i) hosts[i].self = i;
+    Engine<PingHost> engine(std::move(hosts), config);
+    engine.run();
+    const auto r = engine.hosts()[1].received_round;
+    ASSERT_TRUE(r == 1 || r == 2) << "round " << r;
+    same_round |= r == 1;
+    next_round |= r == 2;
+  }
+  EXPECT_TRUE(same_round);
+  EXPECT_TRUE(next_round);
+}
+
+TEST(Engine, RelayChainExecutionTime) {
+  constexpr HostId kN = 10;
+  EngineConfig config;
+  config.mode = DeliveryMode::kSynchronous;
+  std::vector<RelayHost> hosts(kN);
+  for (HostId i = 0; i < kN; ++i) {
+    hosts[i].self = i;
+    hosts[i].num_hosts = kN;
+  }
+  Engine<RelayHost> engine(std::move(hosts), config);
+  const auto stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  // One send per round for kN-1 rounds (last host does not forward).
+  EXPECT_EQ(stats.total_messages, kN - 1);
+  EXPECT_EQ(stats.execution_time, kN - 1);
+  EXPECT_TRUE(engine.hosts()[kN - 1].have_token);
+}
+
+TEST(Engine, DeterministicForSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    EngineConfig config;
+    config.mode = DeliveryMode::kCycleRandomOrder;
+    config.seed = seed;
+    std::vector<RelayHost> hosts(20);
+    for (HostId i = 0; i < 20; ++i) {
+      hosts[i].self = i;
+      hosts[i].num_hosts = 20;
+    }
+    Engine<RelayHost> engine(std::move(hosts), config);
+    const auto stats = engine.run();
+    return std::pair{stats.execution_time, stats.total_messages};
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+TEST(Engine, ObserverSeesEveryRound) {
+  EngineConfig config;
+  config.mode = DeliveryMode::kSynchronous;
+  std::vector<RelayHost> hosts(5);
+  for (HostId i = 0; i < 5; ++i) {
+    hosts[i].self = i;
+    hosts[i].num_hosts = 5;
+  }
+  Engine<RelayHost> engine(std::move(hosts), config);
+  std::vector<std::uint64_t> rounds_seen;
+  const auto stats = engine.run(
+      [&](std::uint64_t round, const std::vector<RelayHost>&) {
+        rounds_seen.push_back(round);
+      });
+  ASSERT_EQ(rounds_seen.size(), stats.rounds_executed);
+  for (std::size_t i = 0; i < rounds_seen.size(); ++i) {
+    EXPECT_EQ(rounds_seen[i], i + 1);
+  }
+}
+
+TEST(Engine, MaxRoundsCapStopsRunaway) {
+  // A host that sends to itself forever can never quiesce.
+  struct LoopHost {
+    using Message = int;
+    void on_message(HostId, const Message&) {}
+    void on_round(Context<Message>& ctx) { ctx.send(ctx.self(), 1); }
+  };
+  EngineConfig config;
+  config.max_rounds = 17;
+  Engine<LoopHost> engine(std::vector<LoopHost>(2), config);
+  const auto stats = engine.run();
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.rounds_executed, 17U);
+}
+
+TEST(Engine, DelayInjectionLosesNothing) {
+  EngineConfig config;
+  config.mode = DeliveryMode::kSynchronous;
+  config.faults.max_extra_delay = 3;
+  config.seed = 11;
+  std::vector<PingHost> hosts(2);
+  for (HostId i = 0; i < 2; ++i) hosts[i].self = i;
+  Engine<PingHost> engine(std::move(hosts), config);
+  const auto stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(engine.hosts()[1].received_count, 1);
+  EXPECT_GE(engine.hosts()[1].received_round, 2U);
+  EXPECT_LE(engine.hosts()[1].received_round, 5U);
+}
+
+TEST(Engine, DuplicationDeliversAtLeastOnce) {
+  int extra = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    EngineConfig config;
+    config.mode = DeliveryMode::kSynchronous;
+    config.faults.duplicate_probability = 0.5;
+    config.seed = seed;
+    std::vector<PingHost> hosts(2);
+    for (HostId i = 0; i < 2; ++i) hosts[i].self = i;
+    Engine<PingHost> engine(std::move(hosts), config);
+    engine.run();
+    const int received = engine.hosts()[1].received_count;
+    ASSERT_GE(received, 1);
+    ASSERT_LE(received, 2);
+    if (received == 2) ++extra;
+  }
+  EXPECT_GT(extra, 0);  // ~50% duplication must fire at least once in 30
+}
+
+TEST(Engine, RejectsEmptyHostSet) {
+  EngineConfig config;
+  EXPECT_THROW(Engine<SilentHost>(std::vector<SilentHost>{}, config),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace kcore::sim

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace kcore::util {
+namespace {
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter t({"name", "n"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  std::ostringstream os;
+  t.print(os, 0);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Column alignment: "a" padded to width of "long-name".
+  EXPECT_NE(out.find("a          1"), std::string::npos);
+}
+
+TEST(TableWriter, RejectsMisshapenRow) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(TableWriter, CsvEscaping) {
+  TableWriter t({"x", "y"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "multi\nline"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(TableWriter, NumRows) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0U);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2U);
+}
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_double(-1.005, 1), "-1.0");
+}
+
+TEST(Format, FmtGrouped) {
+  EXPECT_EQ(fmt_grouped(0), "0");
+  EXPECT_EQ(fmt_grouped(999), "999");
+  EXPECT_EQ(fmt_grouped(1000), "1 000");
+  EXPECT_EQ(fmt_grouped(1234567), "1 234 567");
+  EXPECT_EQ(fmt_grouped(82145), "82 145");
+}
+
+TEST(Format, FmtPercentOrBlank) {
+  EXPECT_EQ(fmt_percent_or_blank(0.0), "");
+  EXPECT_EQ(fmt_percent_or_blank(0.00001), "");
+  EXPECT_EQ(fmt_percent_or_blank(0.1412), "14.12%");
+  EXPECT_EQ(fmt_percent_or_blank(0.5078), "50.78%");
+  EXPECT_EQ(fmt_percent_or_blank(1.0), "100.00%");
+}
+
+}  // namespace
+}  // namespace kcore::util

@@ -1,0 +1,273 @@
+// kcore — command-line front end to the library.
+//
+// Subcommands:
+//   decompose  --input FILE [--algo bz|peeling|one-to-one|one-to-many|bsp]
+//              [--hosts N] [--output FILE] [--summary]
+//   generate   --family NAME [--n N] [--seed S] [--output FILE] [...]
+//   stats      --input FILE
+//   dot        --input FILE [--output FILE] [--max-nodes N]
+//   profiles   (list the built-in paper dataset profiles)
+//
+// Examples:
+//   kcore generate --family ba --n 10000 --m 3 --output ba.txt
+//   kcore decompose --input ba.txt --algo one-to-many --hosts 16 --summary
+//   kcore dot --input ba.txt --output ba.dot
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/one_to_many.h"
+#include "core/one_to_one.h"
+#include "core/pregel_kcore.h"
+#include "eval/datasets.h"
+#include "graph/dot_export.h"
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/stats.h"
+#include "seq/kcore_seq.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace kcore;
+
+int usage() {
+  std::cerr <<
+      R"(usage: kcore <subcommand> [options]
+
+subcommands:
+  decompose --input FILE [--algo bz|peeling|one-to-one|one-to-many|bsp]
+            [--hosts N] [--seed S] [--output FILE] [--summary]
+  generate  --family chain|cycle|clique|star|grid|er|ba|ws|rmat|regular|worst
+            [--n N] [--m M] [--k K] [--beta B] [--seed S] --output FILE
+  generate  --profile <paper profile name> [--scale X] [--seed S] --output FILE
+  stats     --input FILE [--exact-diameter]
+  dot       --input FILE [--output FILE] [--max-nodes N]
+  profiles
+)";
+  return 2;
+}
+
+graph::Graph load(const util::Args& args) {
+  const auto path = args.get("input");
+  KCORE_CHECK_MSG(path.has_value(), "--input FILE is required");
+  return graph::read_edge_list_file(*path).graph;
+}
+
+int cmd_decompose(const util::Args& args) {
+  const graph::Graph g = load(args);
+  const std::string algo = args.get_string("algo", "bz");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  std::vector<graph::NodeId> coreness;
+  std::string detail;
+  if (algo == "bz") {
+    coreness = seq::coreness_bz(g);
+  } else if (algo == "peeling") {
+    coreness = seq::coreness_peeling(g);
+  } else if (algo == "one-to-one") {
+    core::OneToOneConfig config;
+    config.seed = seed;
+    auto result = core::run_one_to_one(g, config);
+    KCORE_CHECK_MSG(result.traffic.converged, "protocol did not converge");
+    detail = "rounds=" + std::to_string(result.traffic.execution_time) +
+             " messages=" + std::to_string(result.traffic.total_messages);
+    coreness = std::move(result.coreness);
+  } else if (algo == "one-to-many") {
+    core::OneToManyConfig config;
+    config.num_hosts =
+        static_cast<sim::HostId>(args.get_int("hosts", 16));
+    config.seed = seed;
+    auto result = core::run_one_to_many(g, config);
+    KCORE_CHECK_MSG(result.traffic.converged, "protocol did not converge");
+    detail = "rounds=" + std::to_string(result.traffic.execution_time) +
+             " estimates_shipped=" +
+             std::to_string(result.estimates_shipped_total);
+    coreness = std::move(result.coreness);
+  } else if (algo == "bsp") {
+    auto result = core::run_pregel_kcore(
+        g, static_cast<sim::HostId>(args.get_int("hosts", 16)));
+    KCORE_CHECK_MSG(result.stats.converged, "BSP run did not converge");
+    detail = "supersteps=" + std::to_string(result.stats.supersteps);
+    coreness = std::move(result.coreness);
+  } else {
+    std::cerr << "unknown --algo '" << algo << "'\n";
+    return usage();
+  }
+
+  if (const auto out_path = args.get("output")) {
+    std::ofstream out(*out_path);
+    KCORE_CHECK_MSG(out.good(), "cannot open " << *out_path);
+    out << "# node coreness\n";
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      out << u << ' ' << coreness[u] << '\n';
+    }
+    std::cout << "wrote " << *out_path << "\n";
+  }
+  const auto summary = seq::summarize_coreness(coreness);
+  std::cout << "algo=" << algo << " nodes=" << g.num_nodes()
+            << " edges=" << g.num_edges() << " kmax=" << summary.k_max
+            << " kavg=" << util::fmt_double(summary.k_avg);
+  if (!detail.empty()) std::cout << ' ' << detail;
+  std::cout << "\n";
+  if (args.has("summary")) {
+    util::TableWriter table({"shell", "nodes"});
+    for (std::size_t k = 0; k < summary.shell_sizes.size(); ++k) {
+      if (summary.shell_sizes[k] > 0) {
+        table.add_row({std::to_string(k),
+                       std::to_string(summary.shell_sizes[k])});
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_generate(const util::Args& args) {
+  const auto out_path = args.get("output");
+  KCORE_CHECK_MSG(out_path.has_value(), "--output FILE is required");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto n = static_cast<graph::NodeId>(args.get_int("n", 1000));
+  graph::Graph g;
+  if (const auto profile = args.get("profile")) {
+    const auto& spec = eval::dataset_by_name(*profile);
+    g = spec.build(args.get_double("scale", 1.0), seed);
+  } else {
+    const std::string family = args.get_string("family", "");
+    namespace gen = graph::gen;
+    if (family == "chain") {
+      g = gen::chain(n);
+    } else if (family == "cycle") {
+      g = gen::cycle(n);
+    } else if (family == "clique") {
+      g = gen::clique(n);
+    } else if (family == "star") {
+      g = gen::star(n);
+    } else if (family == "grid") {
+      const auto side = static_cast<graph::NodeId>(
+          args.get_int("side", static_cast<std::int64_t>(32)));
+      g = gen::grid(side, side);
+    } else if (family == "er") {
+      g = gen::erdos_renyi_gnm(
+          n, static_cast<std::uint64_t>(args.get_int("m", 4 * n)), seed);
+    } else if (family == "ba") {
+      g = gen::barabasi_albert(
+          n, static_cast<graph::NodeId>(args.get_int("m", 3)), seed);
+    } else if (family == "ws") {
+      g = gen::watts_strogatz(
+          n, static_cast<graph::NodeId>(args.get_int("k", 6)),
+          args.get_double("beta", 0.1), seed);
+    } else if (family == "rmat") {
+      gen::RmatParams p;
+      p.scale = static_cast<std::uint32_t>(args.get_int("scale", 14));
+      p.edge_factor = args.get_double("edge-factor", 8.0);
+      g = gen::rmat(p, seed);
+    } else if (family == "regular") {
+      g = gen::random_regular(
+          n, static_cast<graph::NodeId>(args.get_int("d", 4)), seed);
+    } else if (family == "worst") {
+      g = gen::montresor_worst_case(n);
+    } else {
+      std::cerr << "unknown --family '" << family << "'\n";
+      return usage();
+    }
+  }
+  graph::write_edge_list_file(*out_path, g);
+  std::cout << "wrote " << *out_path << ": " << g.num_nodes() << " nodes, "
+            << g.num_edges() << " edges\n";
+  return 0;
+}
+
+int cmd_stats(const util::Args& args) {
+  const graph::Graph g = load(args);
+  const auto degrees = graph::degree_summary(g);
+  const auto components = graph::connected_components(g);
+  const auto coreness = seq::coreness_bz(g);
+  const auto summary = seq::summarize_coreness(coreness);
+  const std::uint32_t diameter =
+      args.has("exact-diameter") ? graph::exact_diameter(g)
+                                 : graph::diameter_lower_bound(g, 1);
+  util::TableWriter table({"metric", "value"});
+  table.add_row({"nodes", util::fmt_grouped(g.num_nodes())});
+  table.add_row({"edges", util::fmt_grouped(g.num_edges())});
+  table.add_row({"min degree", std::to_string(degrees.min)});
+  table.add_row({"max degree", std::to_string(degrees.max)});
+  table.add_row({"avg degree", util::fmt_double(degrees.avg)});
+  table.add_row({"components", std::to_string(components.num_components)});
+  table.add_row({"largest component",
+                 util::fmt_grouped(components.largest_size)});
+  table.add_row({args.has("exact-diameter") ? "diameter" : "diameter (>=)",
+                 std::to_string(diameter)});
+  table.add_row({"kmax", std::to_string(summary.k_max)});
+  table.add_row({"kavg", util::fmt_double(summary.k_avg)});
+  if (args.has("metrics")) {
+    // Triangle-based metrics are O(M^1.5)-ish — opt-in for big graphs.
+    table.add_row({"triangles",
+                   util::fmt_grouped(graph::triangle_count(g))});
+    table.add_row({"avg clustering",
+                   util::fmt_double(graph::average_clustering(g), 4)});
+    table.add_row({"transitivity",
+                   util::fmt_double(graph::transitivity(g), 4)});
+    table.add_row({"assortativity",
+                   util::fmt_double(graph::degree_assortativity(g), 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_dot(const util::Args& args) {
+  const graph::Graph g = load(args);
+  const auto coreness = seq::coreness_bz(g);
+  graph::DotOptions options;
+  options.max_nodes =
+      static_cast<graph::NodeId>(args.get_int("max-nodes", 2000));
+  const std::string out_path = args.get_string("output", "graph.dot");
+  graph::write_dot_file(out_path, g, coreness, options);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int cmd_profiles() {
+  util::TableWriter table({"profile", "substitutes", "paper t_avg",
+                           "paper kmax"});
+  for (const auto& spec : eval::dataset_registry()) {
+    table.add_row({spec.name, spec.paper_name,
+                   util::fmt_double(spec.paper.t_avg),
+                   std::to_string(spec.paper.k_max)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv);
+    if (args.positional().empty()) return usage();
+    const std::string& cmd = args.positional().front();
+    int rc = 2;
+    if (cmd == "decompose") {
+      rc = cmd_decompose(args);
+    } else if (cmd == "generate") {
+      rc = cmd_generate(args);
+    } else if (cmd == "stats") {
+      rc = cmd_stats(args);
+    } else if (cmd == "dot") {
+      rc = cmd_dot(args);
+    } else if (cmd == "profiles") {
+      rc = cmd_profiles();
+    } else {
+      std::cerr << "unknown subcommand '" << cmd << "'\n";
+      return usage();
+    }
+    for (const auto& name : args.unused()) {
+      std::cerr << "warning: unused option --" << name << "\n";
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
