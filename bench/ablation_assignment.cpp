@@ -7,8 +7,9 @@
 // defensible.
 #include <array>
 #include <iostream>
+#include <variant>
 
-#include "core/one_to_many.h"
+#include "api/api.h"
 #include "eval/datasets.h"
 #include "eval/experiments.h"
 #include "util/stats.h"
@@ -16,7 +17,7 @@
 
 int main() {
   using namespace kcore::eval;
-  using kcore::core::AssignmentPolicy;
+  using kcore::api::AssignmentPolicy;
   const auto options = ExperimentOptions::from_env();
   std::cout << "== bench: ablation — node-to-host assignment (§3.2.2) ==\n"
             << "scale=" << options.scale << " runs=" << options.runs
@@ -38,13 +39,15 @@ int main() {
     for (const auto policy : policies) {
       kcore::util::RunningStats overhead;
       for (int run = 0; run < options.runs; ++run) {
-        kcore::core::OneToManyConfig config;
-        config.num_hosts = 16;
-        config.comm = kcore::core::CommPolicy::kPointToPoint;
-        config.assignment = policy;
-        config.seed = options.base_seed + 200 + static_cast<unsigned>(run);
-        const auto result = kcore::core::run_one_to_many(g, config);
-        overhead.add(result.overhead_per_node);
+        kcore::api::RunOptions run_options;
+        run_options.num_hosts = 16;
+        run_options.comm = kcore::api::CommPolicy::kPointToPoint;
+        run_options.assignment = policy;
+        run_options.seed = options.base_seed + 200 + static_cast<unsigned>(run);
+        const auto result = kcore::api::decompose(
+            g, kcore::api::kProtocolOneToMany, run_options);
+        overhead.add(std::get<kcore::api::OneToManyExtras>(result.extras)
+                         .overhead_per_node);
       }
       cells.push_back(kcore::util::fmt_double(overhead.mean(), 3));
     }

@@ -6,11 +6,11 @@
 // combine (receivers need per-neighbor estimates), which is a real and
 // quantified cost of the port.
 #include <iostream>
+#include <variant>
 
+#include "api/api.h"
 #include "bsp/programs.h"
 #include "core/assignment.h"
-#include "core/one_to_one.h"
-#include "core/pregel_kcore.h"
 #include "eval/datasets.h"
 #include "eval/experiments.h"
 #include "util/table.h"
@@ -30,15 +30,21 @@ int main() {
   for (const auto& spec : dataset_registry()) {
     if (options.quick && spec.name != "gnutella-like") continue;
     const auto g = spec.build(options.scale * 0.5, options.base_seed);
-    const auto bsp = kcore::core::run_pregel_kcore(g, 16);
-    kcore::core::OneToOneConfig config;
-    config.mode = kcore::sim::DeliveryMode::kSynchronous;
-    const auto engine = kcore::core::run_one_to_one(g, config);
+    kcore::api::RunOptions bsp_options;
+    bsp_options.num_hosts = 16;
+    const auto bsp =
+        kcore::api::decompose(g, kcore::api::kProtocolBsp, bsp_options);
+    const auto& bsp_stats =
+        std::get<kcore::api::BspExtras>(bsp.extras).stats;
+    kcore::api::RunOptions engine_options;
+    engine_options.mode = kcore::sim::DeliveryMode::kSynchronous;
+    const auto engine = kcore::api::decompose(
+        g, kcore::api::kProtocolOneToOne, engine_options);
     kcore_table.add_row(
-        {spec.name, std::to_string(bsp.stats.supersteps),
+        {spec.name, std::to_string(bsp_stats.supersteps),
          std::to_string(engine.traffic.execution_time),
-         std::to_string(bsp.stats.messages_emitted),
-         std::to_string(bsp.stats.messages_cross_worker),
+         std::to_string(bsp_stats.messages_emitted),
+         std::to_string(bsp_stats.messages_cross_worker),
          std::to_string(engine.traffic.total_messages),
          bsp.coreness == engine.coreness ? "yes" : "NO"});
   }

@@ -7,8 +7,8 @@
 // static protocol after every update.
 #include <iostream>
 
+#include "api/api.h"
 #include "core/dynamic.h"
-#include "core/one_to_one.h"
 #include "eval/datasets.h"
 #include "eval/experiments.h"
 #include "util/rng.h"
@@ -36,9 +36,10 @@ int main() {
     const auto g = spec.build(options.scale * 0.25, options.base_seed);
 
     // Cost of one full restart (static protocol, synchronous).
-    kcore::core::OneToOneConfig config;
-    config.mode = kcore::sim::DeliveryMode::kSynchronous;
-    const auto restart = kcore::core::run_one_to_one(g, config);
+    kcore::api::RunOptions restart_options;
+    restart_options.mode = kcore::sim::DeliveryMode::kSynchronous;
+    const auto restart = kcore::api::decompose(
+        g, kcore::api::kProtocolOneToOne, restart_options);
     const auto restart_msgs =
         static_cast<double>(restart.traffic.total_messages);
 

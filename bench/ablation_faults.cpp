@@ -6,7 +6,7 @@
 #include <array>
 #include <iostream>
 
-#include "core/one_to_one.h"
+#include "api/api.h"
 #include "eval/datasets.h"
 #include "eval/experiments.h"
 #include "seq/kcore_seq.h"
@@ -45,11 +45,12 @@ int main() {
       kcore::util::RunningStats msgs;
       bool all_exact = true;
       for (int run = 0; run < options.runs; ++run) {
-        kcore::core::OneToOneConfig config;
-        config.seed = options.base_seed + 300 + static_cast<unsigned>(run);
-        config.faults.max_extra_delay = plan.delay;
-        config.faults.duplicate_probability = plan.dup;
-        const auto result = kcore::core::run_one_to_one(g, config);
+        kcore::api::RunOptions run_options;
+        run_options.seed = options.base_seed + 300 + static_cast<unsigned>(run);
+        run_options.faults.max_extra_delay = plan.delay;
+        run_options.faults.duplicate_probability = plan.dup;
+        const auto result = kcore::api::decompose(
+            g, kcore::api::kProtocolOneToOne, run_options);
         all_exact &= result.traffic.converged && result.coreness == truth;
         rounds.add(static_cast<double>(result.traffic.rounds_executed));
         msgs.add(static_cast<double>(result.traffic.total_messages));

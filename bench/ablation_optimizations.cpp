@@ -3,7 +3,7 @@
 // measures the saving per profile, in the paper's cycle-driven model.
 #include <iostream>
 
-#include "core/one_to_one.h"
+#include "api/api.h"
 #include "eval/datasets.h"
 #include "eval/experiments.h"
 #include "util/stats.h"
@@ -25,12 +25,14 @@ int main() {
     kcore::util::RunningStats plain_t;
     kcore::util::RunningStats opt_t;
     for (int run = 0; run < options.runs; ++run) {
-      kcore::core::OneToOneConfig config;
-      config.seed = options.base_seed + 100 + static_cast<unsigned>(run);
-      config.targeted_send = false;
-      const auto a = kcore::core::run_one_to_one(g, config);
-      config.targeted_send = true;
-      const auto b = kcore::core::run_one_to_one(g, config);
+      kcore::api::RunOptions run_options;
+      run_options.seed = options.base_seed + 100 + static_cast<unsigned>(run);
+      run_options.targeted_send = false;
+      const auto a =
+          kcore::api::decompose(g, kcore::api::kProtocolOneToOne, run_options);
+      run_options.targeted_send = true;
+      const auto b =
+          kcore::api::decompose(g, kcore::api::kProtocolOneToOne, run_options);
       plain_msgs.add(static_cast<double>(a.traffic.total_messages));
       opt_msgs.add(static_cast<double>(b.traffic.total_messages));
       plain_t.add(static_cast<double>(a.traffic.execution_time));

@@ -3,11 +3,11 @@
 // detector must converge in O(log |H|) rounds — the growth column is the
 // check.
 #include <iostream>
+#include <variant>
 
 #include "agg/termination.h"
+#include "api/api.h"
 #include "core/assignment.h"
-#include "core/one_to_many.h"
-#include "core/one_to_one.h"
 #include "core/termination.h"
 #include "eval/datasets.h"
 #include "eval/experiments.h"
@@ -25,11 +25,13 @@ int main() {
   for (const auto& spec : dataset_registry()) {
     if (options.quick && spec.name != "gnutella-like") continue;
     const auto g = spec.build(options.scale * 0.5, options.base_seed);
-    kcore::core::OneToOneConfig config;
-    config.seed = options.base_seed;
-    const auto run = kcore::core::run_one_to_one(g, config);
+    kcore::api::RunOptions run_options;
+    run_options.seed = options.base_seed;
+    const auto run =
+        kcore::api::decompose(g, kcore::api::kProtocolOneToOne, run_options);
+    const auto& extras = std::get<kcore::api::OneToOneExtras>(run.extras);
     const auto detection = kcore::core::centralized_termination(
-        run.traffic.execution_time, run.activity_transitions);
+        run.traffic.execution_time, extras.activity_transitions);
     central.add_row({spec.name,
                      std::to_string(run.traffic.execution_time),
                      std::to_string(detection.detection_round),
@@ -49,16 +51,19 @@ int main() {
   if (options.quick) host_counts = {4, 16};
   for (const auto hosts : host_counts) {
     // Run the decomposition to get realistic per-host last-activity rounds.
-    kcore::core::OneToManyConfig config;
-    config.num_hosts = hosts;
-    config.seed = options.base_seed;
-    const auto run = kcore::core::run_one_to_many(g, config);
+    kcore::api::RunOptions run_options;
+    run_options.num_hosts = hosts;
+    run_options.seed = options.base_seed;
+    const auto run =
+        kcore::api::decompose(g, kcore::api::kProtocolOneToMany, run_options);
     const auto owner = kcore::core::assign_nodes(
-        g.num_nodes(), hosts, config.assignment, config.seed);
+        g.num_nodes(), hosts, run_options.assignment, run_options.seed);
     const auto overlay = kcore::agg::build_host_overlay(g, owner, hosts);
     // Each host aggregates the real last round in which it generated a
     // new estimate (most hosts go quiet early; a few carry the tail).
-    const auto& last_active = run.last_send_round_by_host;
+    const auto& last_active =
+        std::get<kcore::api::OneToManyExtras>(run.extras)
+            .last_send_round_by_host;
     kcore::agg::GossipTerminationConfig gossip_config;
     gossip_config.seed = options.base_seed;
     const auto detection =

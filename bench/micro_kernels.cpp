@@ -3,9 +3,8 @@
 // a full one-to-one round, and host-side improveEstimate pressure.
 #include <benchmark/benchmark.h>
 
+#include "api/api.h"
 #include "core/compute_index.h"
-#include "core/one_to_many.h"
-#include "core/one_to_one.h"
 #include "graph/generators.h"
 #include "seq/kcore_seq.h"
 #include "util/rng.h"
@@ -59,9 +58,10 @@ void BM_OneToOneFullRun(benchmark::State& state) {
   const Graph g = gen::barabasi_albert(n, 4, 7);
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    kcore::core::OneToOneConfig config;
-    config.seed = seed++;
-    benchmark::DoNotOptimize(kcore::core::run_one_to_one(g, config));
+    kcore::api::RunOptions options;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(
+        kcore::api::decompose(g, kcore::api::kProtocolOneToOne, options));
   }
 }
 BENCHMARK(BM_OneToOneFullRun)->Arg(1000)->Arg(10000)
@@ -72,10 +72,11 @@ void BM_OneToManyFullRun(benchmark::State& state) {
   const Graph g = gen::barabasi_albert(20000, 4, 7);
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    kcore::core::OneToManyConfig config;
-    config.num_hosts = hosts;
-    config.seed = seed++;
-    benchmark::DoNotOptimize(kcore::core::run_one_to_many(g, config));
+    kcore::api::RunOptions options;
+    options.num_hosts = hosts;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(
+        kcore::api::decompose(g, kcore::api::kProtocolOneToMany, options));
   }
 }
 BENCHMARK(BM_OneToManyFullRun)->Arg(1)->Arg(16)->Arg(256)

@@ -6,7 +6,7 @@
 // case family is included as the linear-growth counterpoint.
 #include <iostream>
 
-#include "core/one_to_one.h"
+#include "api/api.h"
 #include "eval/experiments.h"
 #include "graph/generators.h"
 #include "util/stats.h"
@@ -33,9 +33,10 @@ int main() {
             family[0] == 'e'
                 ? graph::gen::erdos_renyi_gnm(n, 3ULL * n, seed)
                 : graph::gen::barabasi_albert(n, 3, seed);
-        core::OneToOneConfig config;
-        config.seed = seed + 1;
-        const auto result = core::run_one_to_one(g, config);
+        api::RunOptions run_options;
+        run_options.seed = seed + 1;
+        const auto result =
+            api::decompose(g, api::kProtocolOneToOne, run_options);
         t_stats.add(static_cast<double>(result.traffic.execution_time));
       }
       table.add_row({family, util::fmt_grouped(n),
@@ -49,10 +50,10 @@ int main() {
   // The adversarial counterpoint: linear in N by construction.
   for (const graph::NodeId n : {512U, 1024U, 2048U}) {
     const auto g = graph::gen::montresor_worst_case(n);
-    core::OneToOneConfig config;
-    config.mode = sim::DeliveryMode::kSynchronous;
-    config.targeted_send = false;
-    const auto result = core::run_one_to_one(g, config);
+    api::RunOptions run_options;
+    run_options.mode = sim::DeliveryMode::kSynchronous;
+    run_options.targeted_send = false;
+    const auto result = api::decompose(g, api::kProtocolOneToOne, run_options);
     table.add_row({"worst-case", util::fmt_grouped(n),
                    std::to_string(result.traffic.rounds_executed),
                    util::fmt_grouped(n),

@@ -5,8 +5,8 @@
 #include <array>
 #include <iostream>
 
+#include "api/api.h"
 #include "core/bounds.h"
-#include "core/one_to_one.h"
 #include "eval/datasets.h"
 #include "eval/experiments.h"
 #include "util/table.h"
@@ -28,10 +28,11 @@ int main() {
   for (const auto& spec : dataset_registry()) {
     if (options.quick && spec.name != "gnutella-like") continue;
     const auto g = spec.build(options.scale * 0.25, options.base_seed);
-    kcore::core::OneToOneConfig config;
-    config.mode = kcore::sim::DeliveryMode::kSynchronous;
-    config.targeted_send = false;
-    const auto result = kcore::core::run_one_to_one(g, config);
+    kcore::api::RunOptions run_options;
+    run_options.mode = kcore::sim::DeliveryMode::kSynchronous;
+    run_options.targeted_send = false;
+    const auto result =
+        kcore::api::decompose(g, kcore::api::kProtocolOneToOne, run_options);
     const auto bounds = kcore::core::compute_bounds(g, result.coreness);
     table.add_row({spec.name,
                    std::to_string(result.traffic.execution_time),

@@ -4,15 +4,15 @@
 // The paper motivates this with Kitsak et al. [8]: nodes in high cores are
 // better epidemic spreaders than mere high-degree hubs. This example
 //   1. builds a P2P-ish overlay (power-law social graph),
-//   2. runs the distributed one-to-one protocol so every "peer" learns its
-//      own coreness,
+//   2. runs the distributed one-to-one protocol (via the kcore::api
+//      facade) so every "peer" learns its own coreness,
 //   3. simulates SI epidemics seeded at (a) the highest-coreness node,
 //      (b) the highest-degree node, (c) a random node,
 // and prints the infection coverage per round for each seeding strategy.
 #include <algorithm>
 #include <iostream>
 
-#include "core/one_to_one.h"
+#include "api/api.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -82,9 +82,10 @@ int main() {
             << g.num_edges() << " links\n";
 
   // Every peer runs Algorithm 1; afterwards each knows its own coreness.
-  kcore::core::OneToOneConfig config;
-  config.seed = 3;
-  const auto run = kcore::core::run_one_to_one(g, config);
+  kcore::api::RunOptions options;
+  options.seed = 3;
+  const auto run =
+      kcore::api::decompose(g, kcore::api::kProtocolOneToOne, options);
   std::cout << "distributed k-core decomposition: "
             << run.traffic.execution_time << " rounds, "
             << run.traffic.total_messages << " messages ("

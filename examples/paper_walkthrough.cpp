@@ -4,7 +4,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/one_to_one.h"
+#include "api/api.h"
 #include "graph/graph.h"
 #include "util/table.h"
 
@@ -31,16 +31,18 @@ int main() {
       "nodes 3 and 4 saw those updates: drop to 2 — converged",
       "the round-3 messages change nothing; the protocol stops",
   };
-  core::OneToOneConfig config;
-  config.mode = sim::DeliveryMode::kSynchronous;
-  config.targeted_send = false;
-  const auto result = core::run_one_to_one(
-      g, config,
-      [&](std::uint64_t round, std::span<const graph::NodeId> est) {
-        std::vector<std::string> cells{std::to_string(round)};
-        for (const auto e : est) cells.push_back(std::to_string(e));
-        cells.push_back(round - 1 < narration.size()
-                            ? narration[round - 1]
+  api::RunOptions options;
+  options.mode = sim::DeliveryMode::kSynchronous;
+  options.targeted_send = false;
+  const auto result = api::decompose(
+      g, api::kProtocolOneToOne, options,
+      [&](const api::ProgressEvent& event) {
+        std::vector<std::string> cells{std::to_string(event.round)};
+        for (const auto e : event.estimates) {
+          cells.push_back(std::to_string(e));
+        }
+        cells.push_back(event.round - 1 < narration.size()
+                            ? narration[event.round - 1]
                             : "");
         table.add_row(std::move(cells));
       });

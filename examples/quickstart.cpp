@@ -1,16 +1,17 @@
-// Quickstart: decompose a small graph three ways and confirm they agree.
+// Quickstart: decompose a small graph with every protocol in the
+// kcore::api registry and confirm they agree.
 //
-//   1. sequential Batagelj–Zaveršnik baseline (src/seq),
-//   2. the one-to-one distributed protocol (every node is a host),
-//   3. the one-to-many distributed protocol (4 hosts).
+// The facade makes protocols interchangeable: one RunOptions struct, one
+// decompose() call, string keys to pick the runtime ("bz", "peeling",
+// "one-to-one", "one-to-many", "bsp"). This file is the quickstart
+// mirrored in README.md.
 //
 // Run: build/examples/quickstart [edge_list_file]
 // With no argument, the paper's Figure 1-style sample graph is used.
 #include <iostream>
 #include <string>
 
-#include "core/one_to_many.h"
-#include "core/one_to_one.h"
+#include "api/api.h"
 #include "graph/edge_list.h"
 #include "graph/generators.h"
 #include "seq/kcore_seq.h"
@@ -51,27 +52,28 @@ int main(int argc, char** argv) {
   std::cout << "Graph: " << g.num_nodes() << " nodes, " << g.num_edges()
             << " edges\n\n";
 
-  // 1. Sequential ground truth.
-  const auto baseline = kcore::seq::coreness_bz(g);
+  // One options struct drives every protocol; knobs a protocol does not
+  // consume are simply ignored (4 hosts only matters to one-to-many/bsp).
+  kcore::api::RunOptions options;
+  options.num_hosts = 4;
+  options.seed = 1;
 
-  // 2. One-to-one distributed run.
-  kcore::core::OneToOneConfig one_config;
-  const auto one = kcore::core::run_one_to_one(g, one_config);
-
-  // 3. One-to-many distributed run on 4 hosts.
-  kcore::core::OneToManyConfig many_config;
-  many_config.num_hosts = 4;
-  const auto many = kcore::core::run_one_to_many(g, many_config);
-
-  const bool agree =
-      one.coreness == baseline && many.coreness == baseline;
-  std::cout << "one-to-one:  " << one.traffic.execution_time
-            << " rounds, " << one.traffic.total_messages << " messages\n";
-  std::cout << "one-to-many: " << many.traffic.execution_time
-            << " rounds, " << many.estimates_shipped_total
-            << " estimates shipped across hosts\n";
-  std::cout << "all three algorithms agree: " << (agree ? "yes" : "NO")
-            << "\n\n";
+  // Ground truth from the sequential baseline, then every registered
+  // protocol by name.
+  const auto baseline =
+      kcore::api::decompose(g, kcore::api::kProtocolBz, options).coreness;
+  bool agree = true;
+  for (const auto& name : kcore::api::ProtocolRegistry::instance().names()) {
+    const auto report = kcore::api::decompose(g, name, options);
+    agree &= report.coreness == baseline;
+    std::cout << name << ": " << report.traffic.execution_time
+              << " rounds, " << report.traffic.total_messages
+              << " messages, "
+              << kcore::util::fmt_double(report.elapsed_ms, 2) << " ms"
+              << (report.coreness == baseline ? "" : "  <-- DISAGREES")
+              << "\n";
+  }
+  std::cout << "all protocols agree: " << (agree ? "yes" : "NO") << "\n\n";
 
   if (g.num_nodes() <= 64) {
     kcore::util::TableWriter table({"node", "degree", "coreness"});

@@ -1,0 +1,206 @@
+#include "api/api.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/one_to_many.h"
+#include "core/one_to_one.h"
+#include "core/pregel_kcore.h"
+#include "seq/kcore_seq.h"
+#include "util/check.h"
+
+namespace kcore::api {
+
+namespace {
+
+DecomposeReport run_bz(const DecomposeRequest& request,
+                       const ProgressObserver& /*observer*/) {
+  DecomposeReport report;
+  report.coreness = seq::coreness_bz(*request.graph);
+  report.traffic.converged = true;
+  return report;
+}
+
+DecomposeReport run_peeling(const DecomposeRequest& request,
+                            const ProgressObserver& /*observer*/) {
+  DecomposeReport report;
+  report.coreness = seq::coreness_peeling(*request.graph);
+  report.traffic.converged = true;
+  return report;
+}
+
+DecomposeReport run_one_to_one_protocol(const DecomposeRequest& request,
+                                        const ProgressObserver& observer) {
+  auto result =
+      core::run_one_to_one(*request.graph, request.options, observer);
+  DecomposeReport report;
+  report.coreness = std::move(result.coreness);
+  report.traffic = std::move(result.traffic);
+  report.extras = OneToOneExtras{std::move(result.last_send_round),
+                                 std::move(result.activity_transitions)};
+  return report;
+}
+
+DecomposeReport run_one_to_many_protocol(const DecomposeRequest& request,
+                                         const ProgressObserver& observer) {
+  auto result =
+      core::run_one_to_many(*request.graph, request.options, observer);
+  DecomposeReport report;
+  report.coreness = std::move(result.coreness);
+  report.traffic = std::move(result.traffic);
+  report.extras =
+      OneToManyExtras{result.estimates_shipped_total,
+                      result.overhead_per_node,
+                      std::move(result.estimates_shipped_by_host),
+                      std::move(result.last_send_round_by_host)};
+  return report;
+}
+
+DecomposeReport run_bsp_protocol(const DecomposeRequest& request,
+                                 const ProgressObserver& observer) {
+  const RunOptions& options = request.options;
+  auto result = core::run_pregel_kcore(
+      *request.graph, options.num_hosts, options.targeted_send,
+      options.assignment, options.seed, observer, options.max_rounds);
+  DecomposeReport report;
+  report.coreness = std::move(result.coreness);
+  // Map the BSP statistics onto the shared traffic shape (full BspStats
+  // remain available in extras): supersteps play the role of rounds,
+  // delivered messages the role of total traffic.
+  report.traffic.total_messages = result.stats.messages_delivered;
+  report.traffic.execution_time = result.stats.supersteps;
+  report.traffic.rounds_executed = result.stats.supersteps;
+  report.traffic.converged = result.stats.converged;
+  report.extras = BspExtras{result.stats};
+  return report;
+}
+
+/// "bz, peeling, ..." — the one source of the key list used by every
+/// unknown-protocol diagnostic.
+std::string joined_keys(const ProtocolRegistry& registry) {
+  std::string joined;
+  for (const auto& name : registry.names()) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
+}  // namespace
+
+ProtocolRegistry::ProtocolRegistry() {
+  add({std::string(kProtocolBz), "[3]",
+       "sequential Batagelj–Zaveršnik bucket baseline", run_bz});
+  add({std::string(kProtocolPeeling), "Def. 1",
+       "naive iterated-peeling oracle (differential testing)", run_peeling});
+  add({std::string(kProtocolOneToOne), "§3.1",
+       "one-to-one protocol: every node is a host (Algorithms 1+2)",
+       run_one_to_one_protocol});
+  add({std::string(kProtocolOneToMany), "§3.2",
+       "one-to-many protocol: hosts own node partitions (Algorithms 3-5)",
+       run_one_to_many_protocol});
+  add({std::string(kProtocolBsp), "§6",
+       "Pregel/BSP vertex-program port with vote-to-halt termination",
+       run_bsp_protocol});
+}
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+  static ProtocolRegistry registry;
+  return registry;
+}
+
+void ProtocolRegistry::add(Entry entry) {
+  KCORE_CHECK_MSG(!entry.name.empty(), "protocol key must be non-empty");
+  KCORE_CHECK_MSG(!contains(entry.name),
+                  "protocol '" << entry.name << "' is already registered");
+  KCORE_CHECK_MSG(entry.run != nullptr,
+                  "protocol '" << entry.name << "' needs a runner");
+  entries_.push_back(std::move(entry));
+}
+
+bool ProtocolRegistry::contains(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return true;
+  }
+  return false;
+}
+
+const ProtocolRegistry::Entry& ProtocolRegistry::entry(
+    std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e;
+  }
+  throw util::CheckError("unknown protocol '" + std::string(name) +
+                         "'; registered: " + joined_keys(*this));
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const Entry& entry : entries_) result.push_back(entry.name);
+  return result;
+}
+
+std::vector<std::string> validate(const DecomposeRequest& request) {
+  std::vector<std::string> problems;
+  if (request.graph == nullptr) {
+    problems.push_back("request.graph must be non-null");
+  } else if (request.graph->num_nodes() == 0) {
+    problems.push_back("graph must have at least one node");
+  }
+  const auto& registry = ProtocolRegistry::instance();
+  if (!registry.contains(request.protocol)) {
+    problems.push_back("unknown protocol '" + request.protocol +
+                       "'; registered: " + joined_keys(registry));
+  }
+  for (auto& problem : request.options.validate()) {
+    problems.push_back(std::move(problem));
+  }
+  // Knobs a protocol cannot honor are errors, not silent no-ops: a fault
+  // plan aimed at a runtime with no channel model would otherwise report
+  // fault-free results as if injection had happened.
+  if (request.options.faults.enabled() &&
+      (request.protocol == kProtocolBz ||
+       request.protocol == kProtocolPeeling ||
+       request.protocol == kProtocolBsp)) {
+    problems.push_back(
+        "protocol '" + request.protocol +
+        "' has no channel-fault model; drop max_extra_delay / "
+        "duplicate_probability (only one-to-one and one-to-many simulate "
+        "faulty channels)");
+  }
+  return problems;
+}
+
+DecomposeReport decompose(const DecomposeRequest& request,
+                          const ProgressObserver& observer) {
+  const auto problems = validate(request);
+  if (!problems.empty()) {
+    std::string joined;
+    for (const auto& problem : problems) {
+      if (!joined.empty()) joined += "; ";
+      joined += problem;
+    }
+    throw util::CheckError("invalid decompose request: " + joined);
+  }
+  const auto& entry = ProtocolRegistry::instance().entry(request.protocol);
+  const auto start = std::chrono::steady_clock::now();
+  DecomposeReport report = entry.run(request, observer);
+  const auto stop = std::chrono::steady_clock::now();
+  report.protocol = request.protocol;
+  report.elapsed_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  return report;
+}
+
+DecomposeReport decompose(const graph::Graph& g, std::string_view protocol,
+                          const RunOptions& options,
+                          const ProgressObserver& observer) {
+  DecomposeRequest request;
+  request.graph = &g;
+  request.protocol = std::string(protocol);
+  request.options = options;
+  return decompose(request, observer);
+}
+
+}  // namespace kcore::api

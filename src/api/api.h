@@ -1,0 +1,183 @@
+// kcore::api — the protocol-agnostic decomposition facade.
+//
+// The paper defines ONE problem (k-core decomposition, Definition 1) and
+// several interchangeable ways to compute it: the sequential
+// Batagelj–Zaveršnik baseline [3], the §3.1 one-to-one protocol, the
+// §3.2 one-to-many protocol, and the Pregel/BSP port proposed in the
+// conclusion. This facade makes that interchangeability a first-class
+// API, in the spirit of Pregel's "one vertex-program API, many runtimes":
+//
+//   api::DecomposeReport report =
+//       api::decompose(g, "one-to-many", options);
+//
+// * One request type: DecomposeRequest = graph + protocol key +
+//   core::RunOptions (the shared option set: delivery mode, seed, round
+//   cap, fault plan, host count, assignment, comm policy, targeted send).
+// * One report type: DecomposeReport = coreness + TrafficStats + a typed
+//   variant of per-protocol extras + wall-clock timing.
+// * One registry: ProtocolRegistry maps string keys ("bz", "peeling",
+//   "one-to-one", "one-to-many", "bsp") to runners; new backends register
+//   under a new key and every CLI flag, bench and experiment picks them
+//   up by name.
+// * One observer: core::ProgressObserver streams (round, estimates,
+//   messages) from every round/superstep-based runtime.
+//
+// Everything outside src/core/ — tools, benches, examples, eval — goes
+// through this header instead of including the protocol headers directly;
+// the legacy run_* entry points remain for code that needs the raw
+// protocol state machines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "bsp/pregel.h"
+#include "core/run_options.h"
+#include "graph/graph.h"
+#include "sim/engine.h"
+
+namespace kcore::api {
+
+// The facade re-exports the shared option vocabulary so callers need only
+// this header.
+using core::AssignmentPolicy;
+using core::CommPolicy;
+using core::ProgressEvent;
+using core::ProgressObserver;
+using core::RunOptions;
+using sim::DeliveryMode;
+using sim::FaultPlan;
+using core::parse_assignment_policy;
+using core::parse_comm_policy;
+using core::parse_delivery_mode;
+using core::to_string;
+
+/// Registry keys of the built-in protocols (paper section in brackets).
+inline constexpr std::string_view kProtocolBz = "bz";              // [3]
+inline constexpr std::string_view kProtocolPeeling = "peeling";    // Def. 1
+inline constexpr std::string_view kProtocolOneToOne = "one-to-one";    // §3.1
+inline constexpr std::string_view kProtocolOneToMany = "one-to-many";  // §3.2
+inline constexpr std::string_view kProtocolBsp = "bsp";            // §6 / [9]
+
+/// A decomposition request: which graph, which protocol, which knobs.
+/// `graph` must outlive the call.
+struct DecomposeRequest {
+  const graph::Graph* graph = nullptr;
+  std::string protocol = std::string(kProtocolBz);
+  RunOptions options;
+};
+
+// --- per-protocol extras ----------------------------------------------------
+// Everything beyond (coreness, traffic) that a protocol reports, as a
+// typed variant. Sequential baselines carry std::monostate.
+
+/// One-to-one (§3.1) extras: the per-node activity profile feeding the
+/// §3.3 termination-detection analysis.
+struct OneToOneExtras {
+  std::vector<std::uint64_t> last_send_round;
+  std::vector<std::uint64_t> activity_transitions;
+};
+
+/// One-to-many (§3.2) extras: the Figure 5 overhead metric and per-host
+/// profiles.
+struct OneToManyExtras {
+  std::uint64_t estimates_shipped_total = 0;
+  double overhead_per_node = 0.0;
+  std::vector<std::uint64_t> estimates_shipped_by_host;
+  std::vector<std::uint64_t> last_send_round_by_host;
+};
+
+/// BSP (Pregel) extras: the framework's native statistics.
+struct BspExtras {
+  bsp::BspStats stats;
+};
+
+using ProtocolExtras =
+    std::variant<std::monostate, OneToOneExtras, OneToManyExtras, BspExtras>;
+
+/// The unified result of a decomposition run.
+///
+/// `traffic` is the protocol's native TrafficStats where one exists
+/// (one-to-one, one-to-many — bit-identical to the legacy run_*
+/// results). The other runtimes map onto it: sequential baselines report
+/// zero messages/rounds with converged=true; bsp reports supersteps as
+/// rounds and delivered messages as total_messages (the full BspStats sit
+/// in extras).
+struct DecomposeReport {
+  std::string protocol;
+  std::vector<graph::NodeId> coreness;
+  sim::TrafficStats traffic;
+  ProtocolExtras extras;
+  /// Wall-clock time of the protocol run itself (excludes validation and
+  /// registry dispatch).
+  double elapsed_ms = 0.0;
+};
+
+// --- registry ---------------------------------------------------------------
+
+/// String-keyed protocol registry. Keys are stable CLI-facing names;
+/// registration is open — experiments and future backends can add
+/// runners at startup and every facade consumer picks them up by name.
+class ProtocolRegistry {
+ public:
+  using Runner = std::function<DecomposeReport(const DecomposeRequest&,
+                                               const ProgressObserver&)>;
+
+  struct Entry {
+    std::string name;           // registry key, e.g. "one-to-many"
+    std::string paper_section;  // e.g. "§3.2" — the protocol table's spine
+    std::string summary;        // one-line human description
+    Runner run;
+  };
+
+  /// The process-wide registry, with the five built-ins pre-registered.
+  [[nodiscard]] static ProtocolRegistry& instance();
+
+  /// Register a protocol. Throws util::CheckError on a duplicate key.
+  void add(Entry entry);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Lookup by key; throws util::CheckError naming the unknown key and
+  /// listing every registered one.
+  [[nodiscard]] const Entry& entry(std::string_view name) const;
+
+  /// Registered keys in registration order (built-ins first).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  ProtocolRegistry();
+
+  std::vector<Entry> entries_;
+};
+
+// --- entry points -----------------------------------------------------------
+
+/// Validate a request without running it: unknown protocol, null graph,
+/// out-of-range options, and knobs the chosen protocol cannot honor
+/// (e.g. a fault plan for the fault-free sequential baselines). Returns
+/// every problem found; empty means the request is runnable.
+[[nodiscard]] std::vector<std::string> validate(const DecomposeRequest& request);
+
+/// Run a decomposition. Throws util::CheckError with the validate()
+/// problems if the request is invalid. The observer (optional) streams
+/// per-round progress from round-based runtimes; sequential baselines
+/// complete without events.
+[[nodiscard]] DecomposeReport decompose(const DecomposeRequest& request,
+                                        const ProgressObserver& observer = {});
+
+/// Convenience overload: decompose `g` with `protocol` under `options`.
+[[nodiscard]] DecomposeReport decompose(const graph::Graph& g,
+                                        std::string_view protocol,
+                                        const RunOptions& options = {},
+                                        const ProgressObserver& observer = {});
+
+}  // namespace kcore::api

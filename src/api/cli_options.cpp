@@ -1,0 +1,83 @@
+#include "api/cli_options.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace kcore::api {
+
+namespace {
+
+/// A non-negative integer flag, bounds-checked BEFORE the unsigned cast —
+/// `--hosts -1` must die with a message naming the flag, not wrap to 4e9
+/// and fail deep inside a protocol runner.
+std::int64_t get_checked(const util::Args& args, const char* name,
+                         std::int64_t fallback, std::int64_t max) {
+  const std::int64_t value = args.get_int(name, fallback);
+  KCORE_CHECK_MSG(value >= 0 && value <= max,
+                  "--" << name << " must be in [0, " << max << "], got "
+                       << value);
+  return value;
+}
+
+}  // namespace
+
+core::RunOptions run_options_from_args(const util::Args& args,
+                                       const core::RunOptions& defaults) {
+  core::RunOptions options = defaults;
+  if (const auto mode = args.get("mode")) {
+    const auto parsed = core::parse_delivery_mode(*mode);
+    KCORE_CHECK_MSG(parsed.has_value(),
+                    "--mode '" << *mode << "' is not a delivery mode; "
+                               << "accepted: sync, cycle");
+    options.mode = *parsed;
+  }
+  constexpr auto kMaxI64 = std::numeric_limits<std::int64_t>::max();
+  options.seed = static_cast<std::uint64_t>(get_checked(
+      args, "seed", static_cast<std::int64_t>(defaults.seed), kMaxI64));
+  options.max_rounds = static_cast<std::uint64_t>(
+      get_checked(args, "max-rounds",
+                  static_cast<std::int64_t>(defaults.max_rounds), kMaxI64));
+  options.num_hosts = static_cast<sim::HostId>(get_checked(
+      args, "hosts", static_cast<std::int64_t>(defaults.num_hosts),
+      std::numeric_limits<sim::HostId>::max()));
+  if (const auto assignment = args.get("assignment")) {
+    const auto parsed = core::parse_assignment_policy(*assignment);
+    KCORE_CHECK_MSG(parsed.has_value(),
+                    "--assignment '" << *assignment
+                                     << "' is not an assignment policy; "
+                                     << "accepted: modulo, block, random, "
+                                     << "hash");
+    options.assignment = *parsed;
+  }
+  if (const auto comm = args.get("comm")) {
+    const auto parsed = core::parse_comm_policy(*comm);
+    KCORE_CHECK_MSG(parsed.has_value(),
+                    "--comm '" << *comm << "' is not a comm policy; "
+                               << "accepted: broadcast, point-to-point");
+    options.comm = *parsed;
+  }
+  options.faults.max_extra_delay = static_cast<std::uint32_t>(get_checked(
+      args, "max-extra-delay",
+      static_cast<std::int64_t>(defaults.faults.max_extra_delay),
+      std::numeric_limits<std::uint32_t>::max()));
+  options.faults.duplicate_probability =
+      args.get_double("dup-prob", defaults.faults.duplicate_probability);
+  if (args.has("no-targeted-send")) options.targeted_send = false;
+  return options;
+}
+
+const char* run_options_flag_help() {
+  return R"(run options (shared by every protocol; unused knobs are ignored):
+  --mode sync|cycle          delivery semantics (default: cycle)
+  --seed S                   RNG seed (default: 1)
+  --max-rounds N             hard round cap, 0 = automatic (default: 0)
+  --hosts N                  hosts / BSP workers (default: 16)
+  --assignment modulo|block|random|hash   node-to-host policy (default: modulo)
+  --comm broadcast|point-to-point         one-to-many comm (default: point-to-point)
+  --max-extra-delay D        fault plan: extra delivery delay in rounds
+  --dup-prob P               fault plan: duplication probability in [0,1]
+  --no-targeted-send         disable the paper's 3.1.2 optimization)";
+}
+
+}  // namespace kcore::api

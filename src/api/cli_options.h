@@ -1,0 +1,33 @@
+// Shared command-line surface for core::RunOptions.
+//
+// Every binary that drives a decomposition (tools/kcore_cli, benches,
+// examples) accepts the same flag vocabulary; this parser is the single
+// place that maps flags onto the shared option struct, so a new knob
+// lands everywhere at once:
+//
+//   --mode sync|cycle          delivery semantics (sim::DeliveryMode)
+//   --seed S                   RNG seed
+//   --max-rounds N             hard round cap (0 = automatic bound)
+//   --hosts N                  hosts (one-to-many) / workers (bsp)
+//   --assignment modulo|block|random|hash   node-to-host policy (§3.2.2)
+//   --comm broadcast|point-to-point         one-to-many policy (§3.2.1)
+//   --max-extra-delay D        fault plan: extra delivery delay in rounds
+//   --dup-prob P               fault plan: duplication probability
+//   --no-targeted-send         disable the §3.1.2 optimization
+#pragma once
+
+#include "core/run_options.h"
+#include "util/args.h"
+
+namespace kcore::api {
+
+/// Parse the RunOptions flags out of `args`, starting from `defaults`.
+/// Throws util::CheckError with an actionable message on an unparsable
+/// value (listing the accepted names for enum flags).
+[[nodiscard]] core::RunOptions run_options_from_args(
+    const util::Args& args, const core::RunOptions& defaults = {});
+
+/// The flag reference above, formatted for usage() blocks.
+[[nodiscard]] const char* run_options_flag_help();
+
+}  // namespace kcore::api

@@ -24,6 +24,7 @@
 // results.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -140,8 +141,15 @@ class PregelEngine {
   }
 
   /// Run to termination (or the superstep cap). Returns statistics;
-  /// values() affords access to the final vertex states.
-  BspStats run(std::uint64_t max_supersteps = 1000000) {
+  /// values() affords access to the final vertex states. The observer is
+  /// invoked after every completed superstep with (0-based superstep
+  /// index, vertex values, statistics so far) — the hook behind the
+  /// facade's unified streaming ProgressObserver.
+  template <typename Observer>
+    requires std::invocable<Observer&, std::uint64_t,
+                            std::span<const typename Program::Value>,
+                            const BspStats&>
+  BspStats run(Observer&& observer, std::uint64_t max_supersteps = 1000000) {
     BspStats stats;
     // Superstep 0: init, no messages.
     for (NodeId u = 0; u < graph_->num_nodes(); ++u) {
@@ -149,6 +157,7 @@ class PregelEngine {
       program_.init(ctx, values_[u]);
       flush(u, ctx, stats);
     }
+    observer(stats.supersteps, std::span<const Value>(values_), stats);
     ++stats.supersteps;
     swap_inboxes();
 
@@ -167,10 +176,18 @@ class PregelEngine {
         stats.converged = true;
         break;
       }
+      observer(stats.supersteps, std::span<const Value>(values_), stats);
       ++stats.supersteps;
       swap_inboxes();
     }
     return stats;
+  }
+
+  /// Run without an observer.
+  BspStats run(std::uint64_t max_supersteps = 1000000) {
+    return run([](std::uint64_t, std::span<const Value>,
+                  const BspStats&) {},
+               max_supersteps);
   }
 
   [[nodiscard]] std::span<const Value> values() const noexcept {

@@ -6,16 +6,6 @@
 
 namespace kcore::core {
 
-const char* to_string(CommPolicy policy) {
-  switch (policy) {
-    case CommPolicy::kBroadcast:
-      return "broadcast";
-    case CommPolicy::kPointToPoint:
-      return "point-to-point";
-  }
-  return "?";
-}
-
 OneToManyHost::OneToManyHost(const graph::Graph* graph,
                              const std::vector<sim::HostId>* owner,
                              sim::HostId self, CommPolicy policy)
@@ -237,8 +227,23 @@ void OneToManyHost::snapshot_into(std::span<graph::NodeId> out) const {
 }
 
 OneToManyResult run_one_to_many(const graph::Graph& g,
+                                const OneToManyConfig& config) {
+  return run_one_to_many(g, config, ProgressObserver{});
+}
+
+OneToManyResult run_one_to_many(const graph::Graph& g,
                                 const OneToManyConfig& config,
                                 const EstimateObserver& observer) {
+  if (!observer) return run_one_to_many(g, config);
+  return run_one_to_many(g, config,
+                         ProgressObserver([&](const ProgressEvent& event) {
+                           observer(event.round, event.estimates);
+                         }));
+}
+
+OneToManyResult run_one_to_many(const graph::Graph& g,
+                                const OneToManyConfig& config,
+                                const ProgressObserver& observer) {
   KCORE_CHECK_MSG(g.num_nodes() > 0, "graph must be non-empty");
   KCORE_CHECK_MSG(config.num_hosts >= 1, "need at least one host");
   const auto owner = assign_nodes(g.num_nodes(), config.num_hosts,
@@ -250,14 +255,14 @@ OneToManyResult run_one_to_many(const graph::Graph& g,
     hosts.emplace_back(&g, &owner, h, config.comm);
   }
 
-  sim::EngineConfig engine_config;
-  engine_config.mode = config.mode;
+  // Base-class slice of the shared options, with the engine seed
+  // decorrelated from the assignment seed and the automatic round cap.
+  sim::EngineConfig engine_config = config;
   engine_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
-  engine_config.faults = config.faults;
-  engine_config.max_rounds =
-      config.max_rounds > 0
-          ? config.max_rounds
-          : static_cast<std::uint64_t>(g.num_nodes()) * 2 + 64;
+  if (engine_config.max_rounds == 0) {
+    engine_config.max_rounds =
+        static_cast<std::uint64_t>(g.num_nodes()) * 2 + 64;
+  }
 
   sim::Engine<OneToManyHost> engine(std::move(hosts), engine_config);
 
@@ -266,7 +271,8 @@ OneToManyResult run_one_to_many(const graph::Graph& g,
                              const std::vector<OneToManyHost>& hs) {
     if (!observer) return;
     for (const auto& h : hs) h.snapshot_into(snapshot);
-    observer(round, snapshot);
+    observer(ProgressEvent{round, snapshot,
+                           engine.stats().total_messages});
   };
 
   OneToManyResult result;

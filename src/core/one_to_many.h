@@ -33,17 +33,14 @@
 #include "core/assignment.h"
 #include "core/compute_index.h"
 #include "core/one_to_one.h"
+#include "core/run_options.h"
 #include "graph/graph.h"
 #include "sim/engine.h"
 
 namespace kcore::core {
 
-enum class CommPolicy {
-  kBroadcast,
-  kPointToPoint,
-};
-
-[[nodiscard]] const char* to_string(CommPolicy policy);
+// CommPolicy (§3.2.1) and its to_string live in core/run_options.h, next
+// to the shared RunOptions struct that names it.
 
 /// Protocol state machine for one host owning many nodes.
 class OneToManyHost {
@@ -118,15 +115,11 @@ class OneToManyHost {
   std::uint64_t last_send_round_ = 0;
 };
 
-struct OneToManyConfig {
-  sim::HostId num_hosts = 16;
-  CommPolicy comm = CommPolicy::kPointToPoint;
-  AssignmentPolicy assignment = AssignmentPolicy::kModulo;  // §3.2.2
-  sim::DeliveryMode mode = sim::DeliveryMode::kCycleRandomOrder;
-  std::uint64_t seed = 1;
-  std::uint64_t max_rounds = 0;  // 0 = automatic
-  sim::FaultPlan faults;
-};
+/// Configuration for a one-to-many run: the shared option set. Consumed
+/// fields: num_hosts, comm, assignment, mode, seed, max_rounds
+/// (0 = automatic), faults. targeted_send is ignored — the host-level
+/// batching of Algorithm 3 subsumes the §3.1.2 per-edge filter.
+using OneToManyConfig = RunOptions;
 
 struct OneToManyResult {
   std::vector<graph::NodeId> coreness;
@@ -141,9 +134,16 @@ struct OneToManyResult {
   std::vector<std::uint64_t> last_send_round_by_host;
 };
 
-/// Run Algorithms 3–5 with `config.num_hosts` hosts over `g`.
+/// Run Algorithms 3–5 with `config.num_hosts` hosts over `g`. Observer
+/// overloads as in run_one_to_one: (round, span) lambdas bind to the
+/// EstimateObserver form, (const ProgressEvent&) to the unified form.
+[[nodiscard]] OneToManyResult run_one_to_many(const graph::Graph& g,
+                                              const OneToManyConfig& config);
 [[nodiscard]] OneToManyResult run_one_to_many(
     const graph::Graph& g, const OneToManyConfig& config,
-    const EstimateObserver& observer = nullptr);
+    const EstimateObserver& observer);
+[[nodiscard]] OneToManyResult run_one_to_many(
+    const graph::Graph& g, const OneToManyConfig& config,
+    const ProgressObserver& observer);
 
 }  // namespace kcore::core

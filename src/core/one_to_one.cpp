@@ -50,8 +50,23 @@ void OneToOneNode::on_round(sim::Context<Message>& ctx) {
 }
 
 OneToOneResult run_one_to_one(const graph::Graph& g,
+                              const OneToOneConfig& config) {
+  return run_one_to_one(g, config, ProgressObserver{});
+}
+
+OneToOneResult run_one_to_one(const graph::Graph& g,
                               const OneToOneConfig& config,
                               const EstimateObserver& observer) {
+  if (!observer) return run_one_to_one(g, config);
+  return run_one_to_one(g, config,
+                        ProgressObserver([&](const ProgressEvent& event) {
+                          observer(event.round, event.estimates);
+                        }));
+}
+
+OneToOneResult run_one_to_one(const graph::Graph& g,
+                              const OneToOneConfig& config,
+                              const ProgressObserver& observer) {
   KCORE_CHECK_MSG(g.num_nodes() > 0, "graph must be non-empty");
   std::vector<OneToOneNode> nodes;
   nodes.reserve(g.num_nodes());
@@ -59,16 +74,15 @@ OneToOneResult run_one_to_one(const graph::Graph& g,
     nodes.emplace_back(&g, u, config.targeted_send);
   }
 
-  sim::EngineConfig engine_config;
-  engine_config.mode = config.mode;
-  engine_config.seed = config.seed;
-  engine_config.faults = config.faults;
-  // Theorem 5: execution time <= N rounds; leave slack for fault-injected
-  // runs where duplicated/delayed traffic stretches the schedule.
-  engine_config.max_rounds =
-      config.max_rounds > 0
-          ? config.max_rounds
-          : static_cast<std::uint64_t>(g.num_nodes()) * 2 + 64;
+  // The engine reads exactly the base-class slice of the options; only
+  // the automatic round cap is protocol-specific. Theorem 5: execution
+  // time <= N rounds; leave slack for fault-injected runs where
+  // duplicated/delayed traffic stretches the schedule.
+  sim::EngineConfig engine_config = config;
+  if (engine_config.max_rounds == 0) {
+    engine_config.max_rounds =
+        static_cast<std::uint64_t>(g.num_nodes()) * 2 + 64;
+  }
 
   sim::Engine<OneToOneNode> engine(std::move(nodes), engine_config);
 
@@ -81,7 +95,8 @@ OneToOneResult run_one_to_one(const graph::Graph& g,
     for (std::size_t u = 0; u < hosts.size(); ++u) {
       snapshot[u] = hosts[u].core();
     }
-    observer(round, snapshot);
+    observer(ProgressEvent{round, snapshot,
+                           engine.stats().total_messages});
   };
   result.traffic = engine.run(engine_observer);
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/compute_index.h"
+#include "core/run_options.h"
 #include "graph/graph.h"
 #include "sim/engine.h"
 
@@ -92,18 +93,16 @@ class OneToOneNode {
   std::vector<graph::NodeId> scratch_;
 };
 
-/// Configuration for a one-to-one run.
-struct OneToOneConfig {
-  sim::DeliveryMode mode = sim::DeliveryMode::kCycleRandomOrder;
-  bool targeted_send = true;  // §3.1.2 optimization
-  std::uint64_t seed = 1;
-  /// 0 = automatic (a Theorem-5-derived bound plus slack).
-  std::uint64_t max_rounds = 0;
-  sim::FaultPlan faults;
-};
+/// Configuration for a one-to-one run: the shared option set. Consumed
+/// fields: mode, targeted_send, seed, max_rounds (0 = a Theorem-5-derived
+/// bound plus slack), faults. num_hosts/assignment/comm are ignored —
+/// every node is its own host here.
+using OneToOneConfig = RunOptions;
 
-/// Per-round observer: receives the round index and the current estimate
-/// of every node. Estimates are monotone non-increasing over rounds.
+/// Legacy per-round observer: round index plus the current estimate of
+/// every node. Estimates are monotone non-increasing over rounds.
+/// Subsumed by core::ProgressObserver (which adds message counts); kept
+/// for call sites that only need the estimate stream.
 using EstimateObserver =
     std::function<void(std::uint64_t round,
                        std::span<const graph::NodeId> estimates)>;
@@ -121,9 +120,17 @@ struct OneToOneResult {
 
 /// Run Algorithm 1 on every node of `g` until quiescence (or the round
 /// cap). The result's coreness equals the true decomposition whenever
-/// traffic.converged is true (Theorems 2+3).
-[[nodiscard]] OneToOneResult run_one_to_one(
-    const graph::Graph& g, const OneToOneConfig& config,
-    const EstimateObserver& observer = nullptr);
+/// traffic.converged is true (Theorems 2+3). The observer overloads
+/// stream per-round progress; a lambda taking (round, span) binds to the
+/// EstimateObserver form, one taking (const ProgressEvent&) to the
+/// unified form.
+[[nodiscard]] OneToOneResult run_one_to_one(const graph::Graph& g,
+                                            const OneToOneConfig& config);
+[[nodiscard]] OneToOneResult run_one_to_one(const graph::Graph& g,
+                                            const OneToOneConfig& config,
+                                            const EstimateObserver& observer);
+[[nodiscard]] OneToOneResult run_one_to_one(const graph::Graph& g,
+                                            const OneToOneConfig& config,
+                                            const ProgressObserver& observer);
 
 }  // namespace kcore::core

@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "bsp/pregel.h"
+#include "core/assignment.h"
 #include "core/compute_index.h"
 #include "core/one_to_one.h"
+#include "core/run_options.h"
 
 namespace kcore::core {
 
@@ -73,15 +75,23 @@ struct PregelKCoreProgram {
 };
 
 /// Convenience driver: run the Pregel port over `g` with `num_workers`
-/// workers under the paper's modulo assignment, returning the coreness
-/// and BSP statistics.
+/// workers, returning the coreness and BSP statistics.
 struct PregelKCoreResult {
   std::vector<graph::NodeId> coreness;
   bsp::BspStats stats;
 };
 
-[[nodiscard]] PregelKCoreResult run_pregel_kcore(const graph::Graph& g,
-                                                 bsp::WorkerId num_workers,
-                                                 bool targeted_send = true);
+/// `assignment` partitions vertices over workers (the paper's default is
+/// modulo); `seed` only matters for AssignmentPolicy::kRandom. The
+/// observer streams one ProgressEvent per superstep (round = 1-based
+/// superstep, messages = deliveries so far). `max_supersteps` caps the
+/// run (0 = the engine's generous default); a capped run reports
+/// stats.converged == false.
+[[nodiscard]] PregelKCoreResult run_pregel_kcore(
+    const graph::Graph& g, bsp::WorkerId num_workers,
+    bool targeted_send = true,
+    AssignmentPolicy assignment = AssignmentPolicy::kModulo,
+    std::uint64_t seed = 0, const ProgressObserver& observer = {},
+    std::uint64_t max_supersteps = 0);
 
 }  // namespace kcore::core

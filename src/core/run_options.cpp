@@ -1,0 +1,67 @@
+#include "core/run_options.h"
+
+namespace kcore::core {
+
+std::vector<std::string> RunOptions::validate() const {
+  std::vector<std::string> problems;
+  if (num_hosts < 1) {
+    problems.push_back("num_hosts must be >= 1, got " +
+                       std::to_string(num_hosts) +
+                       " (one-to-many and bsp need at least one host)");
+  }
+  if (faults.duplicate_probability < 0.0 ||
+      faults.duplicate_probability > 1.0) {
+    problems.push_back("faults.duplicate_probability must be in [0, 1], got " +
+                       std::to_string(faults.duplicate_probability));
+  }
+  return problems;
+}
+
+const char* to_string(sim::DeliveryMode mode) {
+  switch (mode) {
+    case sim::DeliveryMode::kSynchronous:
+      return "sync";
+    case sim::DeliveryMode::kCycleRandomOrder:
+      return "cycle";
+  }
+  return "?";
+}
+
+const char* to_string(CommPolicy policy) {
+  switch (policy) {
+    case CommPolicy::kBroadcast:
+      return "broadcast";
+    case CommPolicy::kPointToPoint:
+      return "point-to-point";
+  }
+  return "?";
+}
+
+std::optional<sim::DeliveryMode> parse_delivery_mode(std::string_view name) {
+  if (name == "sync" || name == "synchronous") {
+    return sim::DeliveryMode::kSynchronous;
+  }
+  if (name == "cycle" || name == "cycle-random-order") {
+    return sim::DeliveryMode::kCycleRandomOrder;
+  }
+  return std::nullopt;
+}
+
+std::optional<CommPolicy> parse_comm_policy(std::string_view name) {
+  if (name == "broadcast" || name == "bcast") return CommPolicy::kBroadcast;
+  if (name == "point-to-point" || name == "p2p") {
+    return CommPolicy::kPointToPoint;
+  }
+  return std::nullopt;
+}
+
+std::optional<AssignmentPolicy> parse_assignment_policy(
+    std::string_view name) {
+  if (name == "modulo") return AssignmentPolicy::kModulo;
+  if (name == "block") return AssignmentPolicy::kBlock;
+  if (name == "random") return AssignmentPolicy::kRandom;
+  if (name == "hash") return AssignmentPolicy::kHash;
+  return std::nullopt;
+}
+
+}  // namespace kcore::core

@@ -1,0 +1,96 @@
+// The shared run surface of every protocol in the repo.
+//
+// Before this header existed, OneToOneConfig, OneToManyConfig and
+// sim::EngineConfig each re-declared the delivery mode, seed, round cap
+// and fault plan. RunOptions folds all of them into one struct layered on
+// sim::EngineConfig, so a single options object can drive any protocol:
+// the round-engine protocols read everything, the BSP port reads
+// num_hosts/assignment/targeted_send, the sequential baselines read
+// nothing. Knobs a protocol does not consume are ignored by the runner
+// and policed by api::validate().
+//
+// Also here:
+//  * CommPolicy (§3.2.1), previously declared in one_to_many.h — moved so
+//    RunOptions can name it without dragging in the host state machine;
+//  * to_string / parse round-trips for every enum knob, so CLIs, benches
+//    and config files can select policies by name;
+//  * ProgressEvent / ProgressObserver — the unified streaming observer
+//    (round, estimate span, cumulative messages) that subsumes the older
+//    EstimateObserver and works across all round-based runtimes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/assignment.h"
+#include "graph/graph.h"
+#include "sim/engine.h"
+
+namespace kcore::core {
+
+/// Host-to-host communication policies of the one-to-many protocol
+/// (§3.2.1): one broadcast message per flush vs Algorithm 5's
+/// per-destination messages.
+enum class CommPolicy {
+  kBroadcast,
+  kPointToPoint,
+};
+
+/// Every knob shared by the protocol runners, layered on the simulator's
+/// EngineConfig (mode, seed, max_rounds, faults). Defaults reproduce the
+/// paper's deployed configuration: cycle-driven delivery, targeted send,
+/// 16 hosts under modulo assignment with point-to-point communication.
+struct RunOptions : sim::EngineConfig {
+  /// Hosts (one-to-many) or workers (bsp). Ignored by one-to-one, where
+  /// every node is its own host.
+  sim::HostId num_hosts = 16;
+  AssignmentPolicy assignment = AssignmentPolicy::kModulo;  // §3.2.2
+  CommPolicy comm = CommPolicy::kPointToPoint;              // §3.2.1
+  bool targeted_send = true;                                // §3.1.2
+
+  /// Returns every problem found, empty when the options are usable.
+  /// Messages are actionable ("num_hosts must be >= 1, got 0"), meant to
+  /// be surfaced verbatim by CLIs and the api facade.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+// --- enum <-> string round-trips -------------------------------------------
+// parse_*(to_string(x)) == x for every enumerator; parse also accepts the
+// common abbreviations used by the CLI (sync, p2p, ...). nullopt on
+// unknown input — callers own the error message (CLIs list valid names).
+
+[[nodiscard]] const char* to_string(sim::DeliveryMode mode);
+[[nodiscard]] const char* to_string(CommPolicy policy);
+// to_string(AssignmentPolicy) lives in core/assignment.h.
+
+[[nodiscard]] std::optional<sim::DeliveryMode> parse_delivery_mode(
+    std::string_view name);
+[[nodiscard]] std::optional<CommPolicy> parse_comm_policy(
+    std::string_view name);
+[[nodiscard]] std::optional<AssignmentPolicy> parse_assignment_policy(
+    std::string_view name);
+
+// --- streaming progress -----------------------------------------------------
+
+/// One per-round progress sample. `estimates` is valid only for the
+/// duration of the callback (it aliases a scratch snapshot).
+struct ProgressEvent {
+  /// 1-based round (one-to-one / one-to-many) or superstep (bsp).
+  std::uint64_t round = 0;
+  /// Current coreness estimate of every node; monotone non-increasing
+  /// over rounds (Theorem 2 keeps them >= the true coreness throughout).
+  std::span<const graph::NodeId> estimates;
+  /// Cumulative messages sent up to and including this round.
+  std::uint64_t messages = 0;
+};
+
+/// Unified per-round observer. Invoked after every executed round with
+/// the freshest estimates; an empty function is never called.
+using ProgressObserver = std::function<void(const ProgressEvent&)>;
+
+}  // namespace kcore::core

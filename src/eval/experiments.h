@@ -11,8 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "core/one_to_many.h"
-#include "core/one_to_one.h"
+#include "api/api.h"
 #include "eval/datasets.h"
 #include "graph/graph.h"
 

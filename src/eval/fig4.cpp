@@ -8,7 +8,6 @@
 #include <ostream>
 #include <sstream>
 
-#include "core/one_to_one.h"
 #include "eval/experiments.h"
 #include "seq/kcore_seq.h"
 #include "util/table.h"
@@ -28,11 +27,10 @@ std::vector<ErrorSeries> run_fig4(const ExperimentOptions& options) {
     double execution_total = 0.0;
 
     for (int run = 0; run < options.runs; ++run) {
-      core::OneToOneConfig config;
-      config.seed = options.base_seed + 3000 + static_cast<unsigned>(run);
-      auto observer = [&](std::uint64_t round,
-                          std::span<const graph::NodeId> estimates) {
-        const std::size_t idx = round - 1;
+      api::RunOptions run_options;
+      run_options.seed = options.base_seed + 3000 + static_cast<unsigned>(run);
+      auto observer = [&](const api::ProgressEvent& event) {
+        const std::size_t idx = event.round - 1;
         if (idx >= sum_error.size()) {
           sum_error.resize(idx + 1, 0.0);
           max_error.resize(idx + 1, 0.0);
@@ -40,15 +38,16 @@ std::vector<ErrorSeries> run_fig4(const ExperimentOptions& options) {
         double sum = 0.0;
         double mx = 0.0;
         for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
-          const auto err =
-              static_cast<double>(estimates[u]) - static_cast<double>(truth[u]);
+          const auto err = static_cast<double>(event.estimates[u]) -
+                           static_cast<double>(truth[u]);
           sum += err;
           mx = std::max(mx, err);
         }
         sum_error[idx] += sum;
         max_error[idx] = std::max(max_error[idx], mx);
       };
-      const auto result = core::run_one_to_one(g, config, observer);
+      const auto result =
+          api::decompose(g, api::kProtocolOneToOne, run_options, observer);
       execution_total += static_cast<double>(result.traffic.execution_time);
     }
     series.execution_time_avg = execution_total / options.runs;

@@ -3,7 +3,6 @@
 #include <ostream>
 #include <sstream>
 
-#include "core/one_to_many.h"
 #include "eval/experiments.h"
 #include "seq/kcore_seq.h"
 #include "util/stats.h"
@@ -28,22 +27,26 @@ std::vector<Fig5Point> run_fig5(const ExperimentOptions& options,
       util::RunningStats p2p_stats;
       for (int run = 0; run < options.runs; ++run) {
         for (const auto comm :
-             {core::CommPolicy::kBroadcast, core::CommPolicy::kPointToPoint}) {
-          core::OneToManyConfig config;
-          config.num_hosts = hosts;
-          config.comm = comm;
-          config.assignment = core::AssignmentPolicy::kModulo;  // §3.2.2
-          config.seed = options.base_seed + 4000 + static_cast<unsigned>(run);
-          const auto result = core::run_one_to_many(g, config);
+             {api::CommPolicy::kBroadcast, api::CommPolicy::kPointToPoint}) {
+          api::RunOptions run_options;
+          run_options.num_hosts = hosts;
+          run_options.comm = comm;
+          run_options.assignment = api::AssignmentPolicy::kModulo;  // §3.2.2
+          run_options.seed =
+              options.base_seed + 4000 + static_cast<unsigned>(run);
+          const auto result =
+              api::decompose(g, api::kProtocolOneToMany, run_options);
           KCORE_CHECK_MSG(result.traffic.converged,
                           profile << "/" << hosts << " did not converge");
           KCORE_CHECK_MSG(result.coreness == truth,
                           profile << "/" << hosts
                                   << " produced wrong coreness");
-          if (comm == core::CommPolicy::kBroadcast) {
-            broadcast_stats.add(result.overhead_per_node);
+          const auto& extras =
+              std::get<api::OneToManyExtras>(result.extras);
+          if (comm == api::CommPolicy::kBroadcast) {
+            broadcast_stats.add(extras.overhead_per_node);
           } else {
-            p2p_stats.add(result.overhead_per_node);
+            p2p_stats.add(extras.overhead_per_node);
           }
         }
       }

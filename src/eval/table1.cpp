@@ -3,7 +3,6 @@
 #include <ostream>
 #include <sstream>
 
-#include "core/one_to_one.h"
 #include "eval/experiments.h"
 #include "graph/stats.h"
 #include "seq/kcore_seq.h"
@@ -34,11 +33,12 @@ std::vector<Table1Row> run_table1(const ExperimentOptions& options) {
     util::RunningStats m_avg_stats;
     util::RunningStats m_max_stats;
     for (int run = 0; run < options.runs; ++run) {
-      core::OneToOneConfig config;
-      config.mode = sim::DeliveryMode::kCycleRandomOrder;
-      config.targeted_send = true;  // the deployed protocol, §3.1.2
-      config.seed = options.base_seed + 1000 + static_cast<unsigned>(run);
-      const auto result = core::run_one_to_one(g, config);
+      api::RunOptions run_options;
+      run_options.mode = sim::DeliveryMode::kCycleRandomOrder;
+      run_options.targeted_send = true;  // the deployed protocol, §3.1.2
+      run_options.seed = options.base_seed + 1000 + static_cast<unsigned>(run);
+      const auto result = api::decompose(g, api::kProtocolOneToOne,
+                                         run_options);
       KCORE_CHECK_MSG(result.traffic.converged,
                       spec.name << " run " << run << " did not converge");
       t_stats.add(static_cast<double>(result.traffic.execution_time));

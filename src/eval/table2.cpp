@@ -9,7 +9,6 @@
 #include <ostream>
 #include <sstream>
 
-#include "core/one_to_one.h"
 #include "eval/experiments.h"
 #include "seq/kcore_seq.h"
 #include "util/table.h"
@@ -24,9 +23,9 @@ Table2Result run_table2(const std::string& profile,
   const auto summary = seq::summarize_coreness(truth);
 
   // Pilot run to size the checkpoint grid.
-  core::OneToOneConfig pilot_config;
-  pilot_config.seed = options.base_seed + 7;
-  const auto pilot = core::run_one_to_one(g, pilot_config);
+  api::RunOptions pilot_options;
+  pilot_options.seed = options.base_seed + 7;
+  const auto pilot = api::decompose(g, api::kProtocolOneToOne, pilot_options);
   const std::uint64_t horizon = std::max<std::uint64_t>(
       pilot.traffic.execution_time, 12);
   // 12 evenly spaced checkpoints, multiples of at least 1 round.
@@ -46,22 +45,22 @@ Table2Result run_table2(const std::string& profile,
 
   double execution_total = 0.0;
   for (int run = 0; run < options.runs; ++run) {
-    core::OneToOneConfig config;
-    config.seed = options.base_seed + 2000 + static_cast<unsigned>(run);
+    api::RunOptions run_options;
+    run_options.seed = options.base_seed + 2000 + static_cast<unsigned>(run);
     std::size_t next_checkpoint = 0;
-    auto observer = [&](std::uint64_t round,
-                        std::span<const graph::NodeId> estimates) {
+    auto observer = [&](const api::ProgressEvent& event) {
       while (next_checkpoint < result.checkpoints.size() &&
-             result.checkpoints[next_checkpoint] == round) {
+             result.checkpoints[next_checkpoint] == event.round) {
         for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
-          if (estimates[u] != truth[u]) {
+          if (event.estimates[u] != truth[u]) {
             ++wrong_counts[truth[u]][next_checkpoint];
           }
         }
         ++next_checkpoint;
       }
     };
-    const auto run_result = core::run_one_to_one(g, config, observer);
+    const auto run_result =
+        api::decompose(g, api::kProtocolOneToOne, run_options, observer);
     execution_total += static_cast<double>(run_result.traffic.execution_time);
     // Checkpoints past convergence have zero wrong nodes — nothing to add.
   }

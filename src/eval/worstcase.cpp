@@ -5,7 +5,6 @@
 #include <sstream>
 
 #include "core/bounds.h"
-#include "core/one_to_one.h"
 #include "eval/experiments.h"
 #include "graph/generators.h"
 #include "graph/stats.h"
@@ -25,11 +24,13 @@ std::vector<WorstCaseRow> run_worstcase(
 
     const auto worst = graph::gen::montresor_worst_case(n);
     row.worst_diameter = graph::exact_diameter(worst);
+    // The analysis model of §4: synchronous rounds, no §3.1.2 opt.
+    api::RunOptions analysis_options;
+    analysis_options.mode = sim::DeliveryMode::kSynchronous;
+    analysis_options.targeted_send = false;
     {
-      core::OneToOneConfig config;
-      config.mode = sim::DeliveryMode::kSynchronous;
-      config.targeted_send = false;  // the analysis model has no §3.1.2 opt
-      const auto result = core::run_one_to_one(worst, config);
+      const auto result =
+          api::decompose(worst, api::kProtocolOneToOne, analysis_options);
       KCORE_CHECK(result.traffic.converged);
       // §4's execution time includes the final no-effect delivery round.
       row.rounds_worst_case = result.traffic.rounds_executed;
@@ -39,10 +40,8 @@ std::vector<WorstCaseRow> run_worstcase(
     }
     {
       const auto chain_graph = graph::gen::chain(n);
-      core::OneToOneConfig config;
-      config.mode = sim::DeliveryMode::kSynchronous;
-      config.targeted_send = false;
-      const auto result = core::run_one_to_one(chain_graph, config);
+      const auto result = api::decompose(chain_graph, api::kProtocolOneToOne,
+                                         analysis_options);
       KCORE_CHECK(result.traffic.converged);
       row.rounds_chain = result.traffic.execution_time;
     }

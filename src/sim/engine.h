@@ -199,6 +199,11 @@ class Engine {
   }
   [[nodiscard]] std::vector<Host>& hosts() noexcept { return hosts_; }
 
+  /// Statistics accumulated so far. Inside an observer callback this
+  /// already includes the round being observed (streaming progress
+  /// reporting reads cumulative message counts from here).
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+
  private:
   struct Pending {
     std::uint64_t deliver_round;

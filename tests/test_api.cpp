@@ -1,0 +1,408 @@
+// The facade contract: api::decompose must be a zero-cost veneer over the
+// legacy entry points — bit-identical coreness and traffic at fixed seeds
+// for every registry protocol — plus the registry/options machinery
+// itself: string round-trips for every enum, unknown-protocol and
+// invalid-options error paths, and the unified ProgressObserver stream.
+//
+// These are the only tests allowed to include the core protocol headers
+// alongside api/api.h: the whole point is comparing the two layers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <variant>
+
+#include "api/api.h"
+#include "api/cli_options.h"
+#include "core/one_to_many.h"
+#include "core/one_to_one.h"
+#include "core/pregel_kcore.h"
+#include "graph/generators.h"
+#include "seq/kcore_seq.h"
+#include "util/check.h"
+
+namespace kcore {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+namespace gen = graph::gen;
+
+void expect_traffic_eq(const sim::TrafficStats& a, const sim::TrafficStats& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.total_messages, b.total_messages) << label;
+  EXPECT_EQ(a.execution_time, b.execution_time) << label;
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed) << label;
+  EXPECT_EQ(a.converged, b.converged) << label;
+  EXPECT_EQ(a.sent_by_host, b.sent_by_host) << label;
+}
+
+// ---------------------------------------------------------------------------
+// Parity with the legacy entry points
+// ---------------------------------------------------------------------------
+
+TEST(ApiParity, OneToOneMatchesLegacyRunner) {
+  const Graph g = gen::barabasi_albert(300, 3, 7);
+  for (const auto mode :
+       {sim::DeliveryMode::kSynchronous, sim::DeliveryMode::kCycleRandomOrder}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      api::RunOptions options;
+      options.mode = mode;
+      options.seed = seed;
+      const auto facade =
+          api::decompose(g, api::kProtocolOneToOne, options);
+      const auto legacy = core::run_one_to_one(g, options);
+      const std::string label =
+          std::string("mode=") + api::to_string(mode) + " seed=" +
+          std::to_string(seed);
+      EXPECT_EQ(facade.coreness, legacy.coreness) << label;
+      expect_traffic_eq(facade.traffic, legacy.traffic, label);
+      const auto& extras = std::get<api::OneToOneExtras>(facade.extras);
+      EXPECT_EQ(extras.last_send_round, legacy.last_send_round) << label;
+      EXPECT_EQ(extras.activity_transitions, legacy.activity_transitions)
+          << label;
+    }
+  }
+}
+
+TEST(ApiParity, OneToOneMatchesLegacyUnderFaults) {
+  const Graph g = gen::erdos_renyi_gnm(200, 600, 11);
+  api::RunOptions options;
+  options.seed = 5;
+  options.faults.max_extra_delay = 2;
+  options.faults.duplicate_probability = 0.2;
+  const auto facade = api::decompose(g, api::kProtocolOneToOne, options);
+  const auto legacy = core::run_one_to_one(g, options);
+  EXPECT_EQ(facade.coreness, legacy.coreness);
+  expect_traffic_eq(facade.traffic, legacy.traffic, "faulty");
+}
+
+TEST(ApiParity, OneToManyMatchesLegacyRunner) {
+  const Graph g = gen::watts_strogatz(400, 6, 0.1, 13);
+  for (const sim::HostId hosts : {1U, 5U, 16U}) {
+    for (const auto comm :
+         {api::CommPolicy::kBroadcast, api::CommPolicy::kPointToPoint}) {
+      api::RunOptions options;
+      options.num_hosts = hosts;
+      options.comm = comm;
+      options.assignment = api::AssignmentPolicy::kBlock;
+      options.seed = 17;
+      const auto facade =
+          api::decompose(g, api::kProtocolOneToMany, options);
+      const auto legacy = core::run_one_to_many(g, options);
+      const std::string label = std::string("hosts=") +
+                                std::to_string(hosts) + " comm=" +
+                                api::to_string(comm);
+      EXPECT_EQ(facade.coreness, legacy.coreness) << label;
+      expect_traffic_eq(facade.traffic, legacy.traffic, label);
+      const auto& extras = std::get<api::OneToManyExtras>(facade.extras);
+      EXPECT_EQ(extras.estimates_shipped_total,
+                legacy.estimates_shipped_total)
+          << label;
+      EXPECT_DOUBLE_EQ(extras.overhead_per_node, legacy.overhead_per_node)
+          << label;
+      EXPECT_EQ(extras.estimates_shipped_by_host,
+                legacy.estimates_shipped_by_host)
+          << label;
+      EXPECT_EQ(extras.last_send_round_by_host,
+                legacy.last_send_round_by_host)
+          << label;
+    }
+  }
+}
+
+TEST(ApiParity, BspMatchesLegacyRunner) {
+  const Graph g = gen::barabasi_albert(250, 4, 3);
+  api::RunOptions options;
+  options.num_hosts = 8;
+  const auto facade = api::decompose(g, api::kProtocolBsp, options);
+  const auto legacy = core::run_pregel_kcore(g, 8);
+  EXPECT_EQ(facade.coreness, legacy.coreness);
+  const auto& stats = std::get<api::BspExtras>(facade.extras).stats;
+  EXPECT_EQ(stats.supersteps, legacy.stats.supersteps);
+  EXPECT_EQ(stats.messages_emitted, legacy.stats.messages_emitted);
+  EXPECT_EQ(stats.messages_delivered, legacy.stats.messages_delivered);
+  EXPECT_EQ(stats.messages_cross_worker, legacy.stats.messages_cross_worker);
+  EXPECT_EQ(stats.converged, legacy.stats.converged);
+  // The traffic mapping documented in api.h.
+  EXPECT_EQ(facade.traffic.total_messages, stats.messages_delivered);
+  EXPECT_EQ(facade.traffic.rounds_executed, stats.supersteps);
+  EXPECT_TRUE(facade.traffic.converged);
+}
+
+TEST(ApiParity, BspHonorsMaxRounds) {
+  const Graph g = gen::barabasi_albert(250, 4, 3);
+  api::RunOptions options;
+  options.num_hosts = 8;
+  options.max_rounds = 1;
+  const auto capped = api::decompose(g, api::kProtocolBsp, options);
+  EXPECT_FALSE(capped.traffic.converged);
+  EXPECT_EQ(capped.traffic.rounds_executed, 1U);
+}
+
+TEST(ApiParity, SequentialBaselinesMatchSeq) {
+  const Graph g = gen::plant_dense_core(gen::barabasi_albert(200, 3, 5), 30,
+                                        8, 6);
+  const auto bz = api::decompose(g, api::kProtocolBz);
+  EXPECT_EQ(bz.coreness, seq::coreness_bz(g));
+  EXPECT_TRUE(bz.traffic.converged);
+  EXPECT_EQ(bz.traffic.total_messages, 0U);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(bz.extras));
+
+  const auto peeling = api::decompose(g, api::kProtocolPeeling);
+  EXPECT_EQ(peeling.coreness, seq::coreness_peeling(g));
+}
+
+TEST(ApiParity, AllBuiltinProtocolsAgreeThroughTheFacade) {
+  const Graph g = gen::montresor_worst_case(40);
+  const auto truth = seq::coreness_bz(g);
+  api::RunOptions options;
+  options.num_hosts = 4;
+  // The five built-ins by key, not names(): another test registers an
+  // extra (deliberately wrong) protocol in this process.
+  for (const auto key :
+       {api::kProtocolBz, api::kProtocolPeeling, api::kProtocolOneToOne,
+        api::kProtocolOneToMany, api::kProtocolBsp}) {
+    const std::string name(key);
+    const auto report = api::decompose(g, name, options);
+    EXPECT_EQ(report.coreness, truth) << name;
+    EXPECT_TRUE(report.traffic.converged) << name;
+    EXPECT_EQ(report.protocol, name);
+    EXPECT_GE(report.elapsed_ms, 0.0) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry behavior
+// ---------------------------------------------------------------------------
+
+TEST(ApiRegistry, BuiltinsAreRegisteredInOrder) {
+  const auto names = api::ProtocolRegistry::instance().names();
+  const std::vector<std::string> expected{"bz", "peeling", "one-to-one",
+                                          "one-to-many", "bsp"};
+  // Prefix check, not equality: registration is append-only and another
+  // test in this process may have added a custom protocol after the
+  // built-ins.
+  ASSERT_GE(names.size(), expected.size());
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(), names.begin()));
+  for (const auto& name : expected) {
+    EXPECT_TRUE(api::ProtocolRegistry::instance().contains(name));
+  }
+  EXPECT_FALSE(api::ProtocolRegistry::instance().contains("mapreduce"));
+}
+
+TEST(ApiRegistry, UnknownProtocolErrorListsRegisteredKeys) {
+  try {
+    (void)api::ProtocolRegistry::instance().entry("gossip");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gossip"), std::string::npos) << what;
+    EXPECT_NE(what.find("one-to-many"), std::string::npos) << what;
+  }
+}
+
+TEST(ApiRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(api::ProtocolRegistry::instance().add(
+                   {"bz", "x", "duplicate", [](const api::DecomposeRequest&,
+                                               const api::ProgressObserver&) {
+                      return api::DecomposeReport{};
+                    }}),
+               util::CheckError);
+}
+
+TEST(ApiRegistry, CustomProtocolIsDispatchable) {
+  auto& registry = api::ProtocolRegistry::instance();
+  if (!registry.contains("test-constant")) {
+    registry.add({"test-constant", "n/a", "returns all-zero coreness",
+                  [](const api::DecomposeRequest& request,
+                     const api::ProgressObserver&) {
+                    api::DecomposeReport report;
+                    report.coreness.assign(request.graph->num_nodes(), 0);
+                    report.traffic.converged = true;
+                    return report;
+                  }});
+  }
+  const Graph g = gen::clique(5);
+  const auto report = api::decompose(g, "test-constant");
+  EXPECT_EQ(report.protocol, "test-constant");
+  EXPECT_EQ(report.coreness, std::vector<NodeId>(5, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Enum string round-trips
+// ---------------------------------------------------------------------------
+
+TEST(ApiEnums, DeliveryModeRoundTrips) {
+  for (const auto mode : {sim::DeliveryMode::kSynchronous,
+                          sim::DeliveryMode::kCycleRandomOrder}) {
+    const auto parsed = api::parse_delivery_mode(api::to_string(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_EQ(api::parse_delivery_mode("synchronous"),
+            sim::DeliveryMode::kSynchronous);
+  EXPECT_FALSE(api::parse_delivery_mode("async").has_value());
+}
+
+TEST(ApiEnums, CommPolicyRoundTrips) {
+  for (const auto policy :
+       {api::CommPolicy::kBroadcast, api::CommPolicy::kPointToPoint}) {
+    const auto parsed = api::parse_comm_policy(api::to_string(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_EQ(api::parse_comm_policy("p2p"), api::CommPolicy::kPointToPoint);
+  EXPECT_FALSE(api::parse_comm_policy("carrier-pigeon").has_value());
+}
+
+TEST(ApiEnums, AssignmentPolicyRoundTrips) {
+  for (const auto policy :
+       {api::AssignmentPolicy::kModulo, api::AssignmentPolicy::kBlock,
+        api::AssignmentPolicy::kRandom, api::AssignmentPolicy::kHash}) {
+    const auto parsed = api::parse_assignment_policy(api::to_string(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(api::parse_assignment_policy("metis").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Validation error paths
+// ---------------------------------------------------------------------------
+
+TEST(ApiValidate, ReportsEveryProblem) {
+  api::DecomposeRequest request;  // null graph, default protocol "bz"
+  request.protocol = "quantum";
+  request.options.num_hosts = 0;
+  request.options.faults.duplicate_probability = 1.5;
+  const auto problems = api::validate(request);
+  ASSERT_EQ(problems.size(), 4U);  // graph, protocol, hosts, dup-prob
+  EXPECT_NE(problems[0].find("graph"), std::string::npos);
+  EXPECT_NE(problems[1].find("quantum"), std::string::npos);
+  EXPECT_NE(problems[2].find("num_hosts"), std::string::npos);
+  EXPECT_NE(problems[3].find("duplicate_probability"), std::string::npos);
+}
+
+TEST(ApiValidate, FaultPlanRejectedForFaultFreeRuntimes) {
+  const Graph g = gen::clique(4);
+  api::RunOptions options;
+  options.faults.max_extra_delay = 2;
+  for (const auto protocol :
+       {api::kProtocolBz, api::kProtocolPeeling, api::kProtocolBsp}) {
+    api::DecomposeRequest request;
+    request.graph = &g;
+    request.protocol = std::string(protocol);
+    request.options = options;
+    const auto problems = api::validate(request);
+    ASSERT_EQ(problems.size(), 1U) << protocol;
+    EXPECT_NE(problems[0].find("fault"), std::string::npos) << protocol;
+    EXPECT_THROW((void)api::decompose(request), util::CheckError)
+        << protocol;
+  }
+  // The round-engine protocols accept the same plan.
+  for (const auto protocol :
+       {api::kProtocolOneToOne, api::kProtocolOneToMany}) {
+    const auto report = api::decompose(g, protocol, options);
+    EXPECT_TRUE(report.traffic.converged) << protocol;
+  }
+}
+
+TEST(ApiValidate, DecomposeThrowsOnUnknownProtocol) {
+  const Graph g = gen::clique(4);
+  EXPECT_THROW((void)api::decompose(g, "simulated-annealing"),
+               util::CheckError);
+}
+
+TEST(ApiValidate, ValidRequestHasNoProblems) {
+  const Graph g = gen::clique(4);
+  api::DecomposeRequest request;
+  request.graph = &g;
+  request.protocol = "one-to-many";
+  EXPECT_TRUE(api::validate(request).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Unified progress stream
+// ---------------------------------------------------------------------------
+
+TEST(ApiProgress, StreamsRoundsEstimatesAndMessages) {
+  const Graph g = gen::barabasi_albert(150, 3, 21);
+  const auto truth = seq::coreness_bz(g);
+  for (const auto protocol :
+       {api::kProtocolOneToOne, api::kProtocolOneToMany, api::kProtocolBsp}) {
+    std::uint64_t last_round = 0;
+    std::uint64_t last_messages = 0;
+    std::size_t events = 0;
+    const auto report = api::decompose(
+        g, protocol, {}, [&](const api::ProgressEvent& event) {
+          EXPECT_EQ(event.round, last_round + 1) << protocol;
+          EXPECT_EQ(event.estimates.size(), g.num_nodes()) << protocol;
+          EXPECT_GE(event.messages, last_messages) << protocol;
+          for (NodeId u = 0; u < g.num_nodes(); ++u) {
+            EXPECT_GE(event.estimates[u], truth[u])
+                << protocol << " node " << u;
+          }
+          last_round = event.round;
+          last_messages = event.messages;
+          ++events;
+        });
+    EXPECT_GT(events, 0U) << protocol;
+    EXPECT_EQ(last_messages, report.traffic.total_messages) << protocol;
+  }
+}
+
+TEST(ApiProgress, SequentialBaselinesEmitNoEvents) {
+  const Graph g = gen::clique(6);
+  std::size_t events = 0;
+  const auto report = api::decompose(
+      g, api::kProtocolBz, {},
+      [&](const api::ProgressEvent&) { ++events; });
+  EXPECT_EQ(events, 0U);
+  EXPECT_EQ(report.coreness, std::vector<NodeId>(6, 5));
+}
+
+// ---------------------------------------------------------------------------
+// CLI option parsing
+// ---------------------------------------------------------------------------
+
+TEST(ApiCliOptions, ParsesTheSharedFlagSet) {
+  const util::Args args({"decompose", "--mode", "sync", "--seed", "9",
+                         "--max-rounds", "77", "--hosts", "32",
+                         "--assignment", "hash", "--comm", "broadcast",
+                         "--max-extra-delay", "3", "--dup-prob", "0.25",
+                         "--no-targeted-send"});
+  const auto options = api::run_options_from_args(args);
+  EXPECT_EQ(options.mode, sim::DeliveryMode::kSynchronous);
+  EXPECT_EQ(options.seed, 9U);
+  EXPECT_EQ(options.max_rounds, 77U);
+  EXPECT_EQ(options.num_hosts, 32U);
+  EXPECT_EQ(options.assignment, api::AssignmentPolicy::kHash);
+  EXPECT_EQ(options.comm, api::CommPolicy::kBroadcast);
+  EXPECT_EQ(options.faults.max_extra_delay, 3U);
+  EXPECT_DOUBLE_EQ(options.faults.duplicate_probability, 0.25);
+  EXPECT_FALSE(options.targeted_send);
+}
+
+TEST(ApiCliOptions, DefaultsSurviveWhenFlagsAbsent) {
+  const util::Args args({"decompose"});
+  const auto options = api::run_options_from_args(args);
+  EXPECT_EQ(options.mode, sim::DeliveryMode::kCycleRandomOrder);
+  EXPECT_EQ(options.seed, 1U);
+  EXPECT_EQ(options.num_hosts, 16U);
+  EXPECT_TRUE(options.targeted_send);
+}
+
+TEST(ApiCliOptions, BadEnumValueThrowsActionably) {
+  const util::Args args({"decompose", "--mode", "warp"});
+  try {
+    (void)api::run_options_from_args(args);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp"), std::string::npos) << what;
+    EXPECT_NE(what.find("cycle"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace kcore

@@ -1,24 +1,31 @@
-// kcore — command-line front end to the library.
+// kcore — command-line front end to the library, built on the
+// kcore::api facade: protocols are selected by registry key, and every
+// run option (delivery mode, fault plan, hosts, ...) is the shared
+// RunOptions flag set parsed by api::run_options_from_args.
 //
 // Subcommands:
-//   decompose  --input FILE [--algo bz|peeling|one-to-one|one-to-many|bsp]
-//              [--hosts N] [--output FILE] [--summary]
+//   decompose  --input FILE [--algo <registry key>] [run options]
+//              [--output FILE] [--summary] [--progress N]
 //   generate   --family NAME [--n N] [--seed S] [--output FILE] [...]
 //   stats      --input FILE
 //   dot        --input FILE [--output FILE] [--max-nodes N]
 //   profiles   (list the built-in paper dataset profiles)
+//   protocols  (list the protocol registry)
 //
 // Examples:
 //   kcore generate --family ba --n 10000 --m 3 --output ba.txt
 //   kcore decompose --input ba.txt --algo one-to-many --hosts 16 --summary
+//   kcore decompose --input ba.txt --algo one-to-one --mode sync \
+//         --max-extra-delay 2 --dup-prob 0.2
 //   kcore dot --input ba.txt --output ba.dot
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <variant>
 
-#include "core/one_to_many.h"
-#include "core/one_to_one.h"
-#include "core/pregel_kcore.h"
+#include "api/api.h"
+#include "api/cli_options.h"
 #include "eval/datasets.h"
 #include "graph/dot_export.h"
 #include "graph/edge_list.h"
@@ -34,19 +41,26 @@ namespace {
 using namespace kcore;
 
 int usage() {
-  std::cerr <<
-      R"(usage: kcore <subcommand> [options]
-
-subcommands:
-  decompose --input FILE [--algo bz|peeling|one-to-one|one-to-many|bsp]
-            [--hosts N] [--seed S] [--output FILE] [--summary]
-  generate  --family chain|cycle|clique|star|grid|er|ba|ws|rmat|regular|worst
-            [--n N] [--m M] [--k K] [--beta B] [--seed S] --output FILE
-  generate  --profile <paper profile name> [--scale X] [--seed S] --output FILE
-  stats     --input FILE [--exact-diameter]
-  dot       --input FILE [--output FILE] [--max-nodes N]
-  profiles
-)";
+  std::string algos;
+  for (const auto& name : api::ProtocolRegistry::instance().names()) {
+    if (!algos.empty()) algos += "|";
+    algos += name;
+  }
+  std::cerr << "usage: kcore <subcommand> [options]\n\nsubcommands:\n"
+            << "  decompose --input FILE [--algo " << algos << "]\n"
+            << "            [run options] [--output FILE] [--summary] "
+               "[--progress N]\n"
+            << "  generate  --family "
+               "chain|cycle|clique|star|grid|er|ba|ws|rmat|regular|worst\n"
+            << "            [--n N] [--m M] [--k K] [--beta B] [--seed S] "
+               "--output FILE\n"
+            << "  generate  --profile <paper profile name> [--scale X] "
+               "[--seed S] --output FILE\n"
+            << "  stats     --input FILE [--exact-diameter]\n"
+            << "  dot       --input FILE [--output FILE] [--max-nodes N]\n"
+            << "  profiles\n"
+            << "  protocols\n\n"
+            << api::run_options_flag_help() << "\n";
   return 2;
 }
 
@@ -56,45 +70,62 @@ graph::Graph load(const util::Args& args) {
   return graph::read_edge_list_file(*path).graph;
 }
 
+/// Protocol-specific tail of the one-line run summary, from the report's
+/// typed extras.
+std::string detail_of(const api::DecomposeReport& report) {
+  struct Visitor {
+    const api::DecomposeReport& report;
+    std::string operator()(std::monostate) const { return {}; }
+    std::string operator()(const api::OneToOneExtras&) const {
+      return "rounds=" + std::to_string(report.traffic.execution_time) +
+             " messages=" + std::to_string(report.traffic.total_messages);
+    }
+    std::string operator()(const api::OneToManyExtras& extras) const {
+      return "rounds=" + std::to_string(report.traffic.execution_time) +
+             " estimates_shipped=" +
+             std::to_string(extras.estimates_shipped_total);
+    }
+    std::string operator()(const api::BspExtras& extras) const {
+      return "supersteps=" + std::to_string(extras.stats.supersteps) +
+             " delivered=" + std::to_string(extras.stats.messages_delivered);
+    }
+  };
+  return std::visit(Visitor{report}, report.extras);
+}
+
 int cmd_decompose(const util::Args& args) {
   const graph::Graph g = load(args);
   const std::string algo = args.get_string("algo", "bz");
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  std::vector<graph::NodeId> coreness;
-  std::string detail;
-  if (algo == "bz") {
-    coreness = seq::coreness_bz(g);
-  } else if (algo == "peeling") {
-    coreness = seq::coreness_peeling(g);
-  } else if (algo == "one-to-one") {
-    core::OneToOneConfig config;
-    config.seed = seed;
-    auto result = core::run_one_to_one(g, config);
-    KCORE_CHECK_MSG(result.traffic.converged, "protocol did not converge");
-    detail = "rounds=" + std::to_string(result.traffic.execution_time) +
-             " messages=" + std::to_string(result.traffic.total_messages);
-    coreness = std::move(result.coreness);
-  } else if (algo == "one-to-many") {
-    core::OneToManyConfig config;
-    config.num_hosts =
-        static_cast<sim::HostId>(args.get_int("hosts", 16));
-    config.seed = seed;
-    auto result = core::run_one_to_many(g, config);
-    KCORE_CHECK_MSG(result.traffic.converged, "protocol did not converge");
-    detail = "rounds=" + std::to_string(result.traffic.execution_time) +
-             " estimates_shipped=" +
-             std::to_string(result.estimates_shipped_total);
-    coreness = std::move(result.coreness);
-  } else if (algo == "bsp") {
-    auto result = core::run_pregel_kcore(
-        g, static_cast<sim::HostId>(args.get_int("hosts", 16)));
-    KCORE_CHECK_MSG(result.stats.converged, "BSP run did not converge");
-    detail = "supersteps=" + std::to_string(result.stats.supersteps);
-    coreness = std::move(result.coreness);
-  } else {
+  if (!api::ProtocolRegistry::instance().contains(algo)) {
     std::cerr << "unknown --algo '" << algo << "'\n";
     return usage();
   }
+  const auto options = api::run_options_from_args(args);
+
+  // --progress N streams one estimate-span summary every N rounds.
+  const auto progress_every = args.get_int("progress", 0);
+  api::ProgressObserver observer;
+  if (progress_every > 0) {
+    observer = [&](const api::ProgressEvent& event) {
+      if (event.round % static_cast<std::uint64_t>(progress_every) != 0) {
+        return;
+      }
+      graph::NodeId lo = event.estimates.front();
+      graph::NodeId hi = lo;
+      for (const auto e : event.estimates) {
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+      }
+      std::cerr << "round " << event.round << ": estimates in [" << lo
+                << ", " << hi << "], " << event.messages << " messages\n";
+    };
+  }
+
+  auto report = api::decompose(g, algo, options, observer);
+  KCORE_CHECK_MSG(report.traffic.converged,
+                  "protocol did not converge within the round cap");
+  const std::string detail = detail_of(report);
+  const auto coreness = std::move(report.coreness);
 
   if (const auto out_path = args.get("output")) {
     std::ofstream out(*out_path);
@@ -110,7 +141,7 @@ int cmd_decompose(const util::Args& args) {
             << " edges=" << g.num_edges() << " kmax=" << summary.k_max
             << " kavg=" << util::fmt_double(summary.k_avg);
   if (!detail.empty()) std::cout << ' ' << detail;
-  std::cout << "\n";
+  std::cout << " time=" << util::fmt_double(report.elapsed_ms, 1) << "ms\n";
   if (args.has("summary")) {
     util::TableWriter table({"shell", "nodes"});
     for (std::size_t k = 0; k < summary.shell_sizes.size(); ++k) {
@@ -240,6 +271,15 @@ int cmd_profiles() {
   return 0;
 }
 
+int cmd_protocols() {
+  util::TableWriter table({"key", "paper", "description"});
+  for (const auto& entry : api::ProtocolRegistry::instance().entries()) {
+    table.add_row({entry.name, entry.paper_section, entry.summary});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,6 +298,8 @@ int main(int argc, char** argv) {
       rc = cmd_dot(args);
     } else if (cmd == "profiles") {
       rc = cmd_profiles();
+    } else if (cmd == "protocols") {
+      rc = cmd_protocols();
     } else {
       std::cerr << "unknown subcommand '" << cmd << "'\n";
       return usage();
