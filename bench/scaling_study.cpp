@@ -1,26 +1,167 @@
-// Scaling study (implied by §4/§5): how does the measured execution time
-// grow with graph size, compared to the Theorem 5 bound of N? On
-// realistic graph families convergence time is driven by structure
-// (effective diameter / error depth), not by N — rounds grow only
-// logarithmically-to-mildly while the bound grows linearly. The worst-
-// case family is included as the linear-growth counterpoint.
+// Scaling study, in two parts.
+//
+// Part 1 — REAL execution (src/par): wall-clock scaling of the threaded
+// protocols over dataset profiles and worker counts, against the
+// sequential Batagelj–Zaveršnik baseline. This is the paper's central
+// parallelization claim measured on actual cores instead of simulated
+// rounds, and it emits every data point as machine-readable JSON
+// (BENCH_scaling.json, override with KCORE_BENCH_JSON) so the perf
+// trajectory of the repo is tracked run over run:
+//   {"dataset", "protocol", "threads", "wall_ms", "rounds", "messages",
+//    "speedup_vs_1t"}
+//
+// Part 2 — SIMULATED rounds (implied by §4/§5): how the measured
+// execution time grows with graph size, compared to the Theorem 5 bound
+// of N. On realistic graph families convergence is driven by structure
+// (effective diameter / error depth), not by N — rounds grow only mildly
+// while the bound grows linearly. The worst-case family is the
+// linear-growth counterpoint.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "api/api.h"
 #include "eval/experiments.h"
 #include "graph/generators.h"
+#include "seq/kcore_seq.h"
+#include "util/env.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
-  using namespace kcore;
-  const auto options = eval::ExperimentOptions::from_env();
-  const int runs = std::min(options.runs, 5);
-  std::cout << "== bench: scaling study — rounds vs graph size ==\n"
-            << "runs=" << runs << " per point (cycle-driven, optimized)\n\n";
+namespace {
 
-  util::TableWriter table(
-      {"family", "N", "t_avg", "Thm5 bound (N)", "t/N"});
+using namespace kcore;
+
+double wall_ms_of(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+struct Record {
+  std::string dataset;
+  std::string protocol;
+  unsigned threads = 0;
+  double wall_ms = 0.0;  // whole decompose call (setup + run)
+  double run_ms = 0.0;   // the parallel round loop only
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  /// run_ms(1 thread) / run_ms(this record) — speedup of the phase that
+  /// actually parallelizes (setup is single-threaded by design).
+  double speedup_vs_1t = 0.0;
+};
+
+std::string json_of(const std::vector<Record>& records) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"scaling_study\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    out << "    {\"dataset\": \"" << r.dataset << "\", \"protocol\": \""
+        << r.protocol << "\", \"threads\": " << r.threads
+        << ", \"wall_ms\": " << util::fmt_double(r.wall_ms, 3)
+        << ", \"run_ms\": " << util::fmt_double(r.run_ms, 3)
+        << ", \"rounds\": " << r.rounds << ", \"messages\": " << r.messages
+        << ", \"speedup_vs_1t\": " << util::fmt_double(r.speedup_vs_1t, 3)
+        << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+/// Thread counts to sweep: 1, 2, 4 and the hardware's own width.
+std::vector<unsigned> thread_sweep() {
+  std::vector<unsigned> counts{1, 2, 4};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  return counts;
+}
+
+void real_execution_study(const eval::ExperimentOptions& options,
+                          std::vector<Record>& records) {
+  // Small / medium / largest profile by base node count; quick mode keeps
+  // only the smallest so CI smoke runs stay fast.
+  std::vector<std::string> profiles{"condmat-like", "amazon-like",
+                                    "wikitalk-like"};
+  if (options.quick) profiles = {"condmat-like"};
+  const int repeats = std::max(1, std::min(options.runs, 3));
+
+  util::TableWriter table({"dataset", "protocol", "threads", "wall ms",
+                           "run ms", "rounds", "messages", "speedup"});
+  for (const auto& profile : profiles) {
+    const auto& spec = eval::dataset_by_name(profile);
+    const graph::Graph g =
+        spec.build(options.scale, util::split_stream(options.base_seed, 0));
+
+    // Sequential baseline: best of `repeats` runs.
+    double bz_ms = std::numeric_limits<double>::infinity();
+    for (int run = 0; run < repeats; ++run) {
+      std::vector<graph::NodeId> coreness;
+      bz_ms = std::min(bz_ms, wall_ms_of([&] {
+                         coreness = seq::coreness_bz(g);
+                       }));
+    }
+    records.push_back({profile, "bz", 1, bz_ms, bz_ms, 0, 0, 1.0});
+    table.add_row({profile, "bz", "1", util::fmt_double(bz_ms, 2),
+                   util::fmt_double(bz_ms, 2), "0", "0", "1.00"});
+
+    for (const std::string protocol :
+         {std::string(api::kProtocolOneToManyPar),
+          std::string(api::kProtocolBspPar)}) {
+      double run_ms_at_1t = 0.0;
+      for (const unsigned threads : thread_sweep()) {
+        api::RunOptions run_options;
+        run_options.threads = threads;
+        run_options.seed = util::split_stream(options.base_seed, 1);
+        double best_wall_ms = std::numeric_limits<double>::infinity();
+        double best_run_ms = std::numeric_limits<double>::infinity();
+        api::DecomposeReport report;
+        for (int run = 0; run < repeats; ++run) {
+          best_wall_ms = std::min(best_wall_ms, wall_ms_of([&] {
+                                    report = api::decompose(g, protocol,
+                                                            run_options);
+                                  }));
+          best_run_ms = std::min(
+              best_run_ms, std::get<api::ParExtras>(report.extras).run_ms);
+        }
+        if (threads == 1) run_ms_at_1t = best_run_ms;
+        const double speedup =
+            best_run_ms > 0.0 ? run_ms_at_1t / best_run_ms : 0.0;
+        records.push_back({profile, protocol, threads, best_wall_ms,
+                           best_run_ms, report.traffic.rounds_executed,
+                           report.traffic.total_messages, speedup});
+        table.add_row({profile, protocol, std::to_string(threads),
+                       util::fmt_double(best_wall_ms, 2),
+                       util::fmt_double(best_run_ms, 2),
+                       std::to_string(report.traffic.rounds_executed),
+                       util::fmt_grouped(report.traffic.total_messages),
+                       util::fmt_double(speedup, 2)});
+      }
+    }
+  }
+  table.print(std::cout);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "\nhardware threads available: " << hw
+            << (hw < 4 ? "  (speedup beyond 1x needs real cores)" : "")
+            << "\n";
+}
+
+void simulated_rounds_study(const eval::ExperimentOptions& options) {
+  const int runs = std::min(options.runs, 5);
+  std::cout << "\n== part 2: simulated rounds vs graph size (one-to-one) =="
+            << "\nruns=" << runs << " per point (cycle-driven, optimized)\n\n";
+
+  util::TableWriter table({"family", "N", "t_avg", "Thm5 bound (N)", "t/N"});
   std::vector<graph::NodeId> sizes{2000, 8000, 32000, 128000};
   if (options.quick) sizes = {2000, 8000};
   for (const graph::NodeId n : sizes) {
@@ -67,5 +208,30 @@ int main() {
                "N grows (the\npaper's \"graphs with millions of nodes "
                "converge in less than one hundred\nrounds\"), while the "
                "Fig. 3 family pins t/N ~ 1.\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto options = eval::ExperimentOptions::from_env();
+  std::cout << "== bench: scaling study ==\n"
+            << "== part 1: real execution (src/par) — wall clock vs "
+               "threads ==\n\n";
+
+  std::vector<Record> records;
+  real_execution_study(options, records);
+
+  const std::string json_path =
+      util::env_string("KCORE_BENCH_JSON").value_or("BENCH_scaling.json");
+  std::ofstream json_out(json_path);
+  if (json_out.good()) {
+    json_out << json_of(records);
+    std::cout << "wrote " << json_path << " (" << records.size()
+              << " records)\n";
+  } else {
+    std::cerr << "warning: cannot write " << json_path << "\n";
+  }
+
+  simulated_rounds_study(options);
   return 0;
 }

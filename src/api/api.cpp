@@ -6,6 +6,7 @@
 #include "core/one_to_many.h"
 #include "core/one_to_one.h"
 #include "core/pregel_kcore.h"
+#include "par/runtime.h"
 #include "seq/kcore_seq.h"
 #include "util/check.h"
 
@@ -75,6 +76,43 @@ DecomposeReport run_bsp_protocol(const DecomposeRequest& request,
   return report;
 }
 
+DecomposeReport run_one_to_many_par_protocol(const DecomposeRequest& request,
+                                             const ProgressObserver& observer) {
+  auto result =
+      par::run_one_to_many_par(*request.graph, request.options, observer);
+  DecomposeReport report;
+  report.coreness = std::move(result.coreness);
+  report.traffic = std::move(result.traffic);
+  ParExtras extras;
+  extras.threads_used = result.threads_used;
+  extras.shards = request.options.num_hosts;
+  extras.setup_ms = result.setup_ms;
+  extras.run_ms = result.run_ms;
+  extras.estimates_shipped_total = result.estimates_shipped_total;
+  extras.overhead_per_node = result.overhead_per_node;
+  report.extras = extras;
+  return report;
+}
+
+DecomposeReport run_bsp_par_protocol(const DecomposeRequest& request,
+                                     const ProgressObserver& observer) {
+  auto result = par::run_bsp_par(*request.graph, request.options, observer);
+  DecomposeReport report;
+  report.coreness = std::move(result.coreness);
+  report.traffic.total_messages = result.stats.messages_delivered;
+  report.traffic.execution_time = result.stats.supersteps;
+  report.traffic.rounds_executed = result.stats.supersteps;
+  report.traffic.converged = result.stats.converged;
+  ParExtras extras;
+  extras.threads_used = result.threads_used;
+  extras.shards = result.threads_used;  // bsp-par shards = workers
+  extras.setup_ms = result.setup_ms;
+  extras.run_ms = result.run_ms;
+  extras.cross_shard_messages = result.stats.messages_cross_worker;
+  report.extras = extras;
+  return report;
+}
+
 /// "bz, peeling, ..." — the one source of the key list used by every
 /// unknown-protocol diagnostic.
 std::string joined_keys(const ProtocolRegistry& registry) {
@@ -102,6 +140,12 @@ ProtocolRegistry::ProtocolRegistry() {
   add({std::string(kProtocolBsp), "§6",
        "Pregel/BSP vertex-program port with vote-to-halt termination",
        run_bsp_protocol});
+  add({std::string(kProtocolOneToManyPar), "§3.2 (par)",
+       "one-to-many protocol on real worker threads (src/par engine)",
+       run_one_to_many_par_protocol});
+  add({std::string(kProtocolBspPar), "§6 (par)",
+       "shared-memory BSP port: threads over a shared atomic estimate table",
+       run_bsp_par_protocol});
 }
 
 ProtocolRegistry& ProtocolRegistry::instance() {
@@ -158,11 +202,15 @@ std::vector<std::string> validate(const DecomposeRequest& request) {
   }
   // Knobs a protocol cannot honor are errors, not silent no-ops: a fault
   // plan aimed at a runtime with no channel model would otherwise report
-  // fault-free results as if injection had happened.
+  // fault-free results as if injection had happened. The real-thread
+  // protocols run over reliable shared memory — there is no channel to
+  // break — so they reject fault plans too.
   if (request.options.faults.enabled() &&
       (request.protocol == kProtocolBz ||
        request.protocol == kProtocolPeeling ||
-       request.protocol == kProtocolBsp)) {
+       request.protocol == kProtocolBsp ||
+       request.protocol == kProtocolOneToManyPar ||
+       request.protocol == kProtocolBspPar)) {
     problems.push_back(
         "protocol '" + request.protocol +
         "' has no channel-fault model; drop max_extra_delay / "

@@ -62,6 +62,12 @@ inline constexpr std::string_view kProtocolPeeling = "peeling";    // Def. 1
 inline constexpr std::string_view kProtocolOneToOne = "one-to-one";    // §3.1
 inline constexpr std::string_view kProtocolOneToMany = "one-to-many";  // §3.2
 inline constexpr std::string_view kProtocolBsp = "bsp";            // §6 / [9]
+// The real-execution family (src/par): the same protocols on actual
+// worker threads instead of the round simulator. RunOptions::threads
+// selects the pool size; coreness and traffic are thread-count invariant.
+inline constexpr std::string_view kProtocolOneToManyPar =
+    "one-to-many-par";                                       // §3.2, threaded
+inline constexpr std::string_view kProtocolBspPar = "bsp-par";  // §6, threaded
 
 /// A decomposition request: which graph, which protocol, which knobs.
 /// `graph` must outlive the call.
@@ -96,8 +102,29 @@ struct BspExtras {
   bsp::BspStats stats;
 };
 
+/// Real-execution extras (the src/par family): the run's threading
+/// profile on top of whatever the underlying protocol reports.
+struct ParExtras {
+  /// Worker threads actually used (requested count clamped to shards).
+  unsigned threads_used = 0;
+  /// Shards the node set was split into: num_hosts for one-to-many-par,
+  /// the worker count itself for bsp-par.
+  sim::HostId shards = 0;
+  /// Phase split of elapsed_ms: single-threaded setup (assignment, host /
+  /// table construction) vs the parallel round loop. Scaling studies
+  /// should compute speedup on run_ms — only it parallelizes.
+  double setup_ms = 0.0;
+  double run_ms = 0.0;
+  /// one-to-many-par: the Figure 5 overhead numerator / metric.
+  std::uint64_t estimates_shipped_total = 0;
+  double overhead_per_node = 0.0;
+  /// bsp-par: activation notifications that crossed a shard boundary.
+  std::uint64_t cross_shard_messages = 0;
+};
+
 using ProtocolExtras =
-    std::variant<std::monostate, OneToOneExtras, OneToManyExtras, BspExtras>;
+    std::variant<std::monostate, OneToOneExtras, OneToManyExtras, BspExtras,
+                 ParExtras>;
 
 /// The unified result of a decomposition run.
 ///

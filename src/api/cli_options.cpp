@@ -41,6 +41,8 @@ core::RunOptions run_options_from_args(const util::Args& args,
   options.num_hosts = static_cast<sim::HostId>(get_checked(
       args, "hosts", static_cast<std::int64_t>(defaults.num_hosts),
       std::numeric_limits<sim::HostId>::max()));
+  options.threads = static_cast<unsigned>(get_checked(
+      args, "threads", static_cast<std::int64_t>(defaults.threads), 4096));
   if (const auto assignment = args.get("assignment")) {
     const auto parsed = core::parse_assignment_policy(*assignment);
     KCORE_CHECK_MSG(parsed.has_value(),
@@ -69,10 +71,14 @@ core::RunOptions run_options_from_args(const util::Args& args,
 
 const char* run_options_flag_help() {
   return R"(run options (shared by every protocol; unused knobs are ignored):
-  --mode sync|cycle          delivery semantics (default: cycle)
+  --mode sync|cycle          delivery semantics of the SIMULATED protocols
+                             (default: cycle); the *-par protocols always
+                             execute barrier-synchronous real rounds
   --seed S                   RNG seed (default: 1)
   --max-rounds N             hard round cap, 0 = automatic (default: 0)
   --hosts N                  hosts / BSP workers (default: 16)
+  --threads N                worker threads for the *-par protocols
+                             (default: 0 = one per hardware thread)
   --assignment modulo|block|random|hash   node-to-host policy (default: modulo)
   --comm broadcast|point-to-point         one-to-many comm (default: point-to-point)
   --max-extra-delay D        fault plan: extra delivery delay in rounds

@@ -226,6 +226,35 @@ void OneToManyHost::snapshot_into(std::span<graph::NodeId> out) const {
   }
 }
 
+std::vector<OneToManyHost> make_one_to_many_hosts(
+    const graph::Graph& g, const std::vector<sim::HostId>& owner,
+    sim::HostId num_hosts, CommPolicy policy) {
+  std::vector<OneToManyHost> hosts;
+  hosts.reserve(num_hosts);
+  for (sim::HostId h = 0; h < num_hosts; ++h) {
+    hosts.emplace_back(&g, &owner, h, policy);
+  }
+  return hosts;
+}
+
+OneToManyResult harvest_one_to_many_result(
+    const std::vector<OneToManyHost>& hosts, graph::NodeId num_nodes) {
+  OneToManyResult result;
+  result.coreness.assign(num_nodes, 0);
+  result.estimates_shipped_by_host.reserve(hosts.size());
+  result.last_send_round_by_host.reserve(hosts.size());
+  for (const auto& h : hosts) {
+    h.snapshot_into(result.coreness);
+    result.estimates_shipped_by_host.push_back(h.estimates_shipped());
+    result.estimates_shipped_total += h.estimates_shipped();
+    result.last_send_round_by_host.push_back(h.last_send_round());
+  }
+  result.overhead_per_node =
+      static_cast<double>(result.estimates_shipped_total) /
+      static_cast<double>(num_nodes);
+  return result;
+}
+
 OneToManyResult run_one_to_many(const graph::Graph& g,
                                 const OneToManyConfig& config) {
   return run_one_to_many(g, config, ProgressObserver{});
@@ -248,12 +277,8 @@ OneToManyResult run_one_to_many(const graph::Graph& g,
   KCORE_CHECK_MSG(config.num_hosts >= 1, "need at least one host");
   const auto owner = assign_nodes(g.num_nodes(), config.num_hosts,
                                   config.assignment, config.seed);
-
-  std::vector<OneToManyHost> hosts;
-  hosts.reserve(config.num_hosts);
-  for (sim::HostId h = 0; h < config.num_hosts; ++h) {
-    hosts.emplace_back(&g, &owner, h, config.comm);
-  }
+  auto hosts =
+      make_one_to_many_hosts(g, owner, config.num_hosts, config.comm);
 
   // Base-class slice of the shared options, with the engine seed
   // decorrelated from the assignment seed and the automatic round cap.
@@ -275,22 +300,10 @@ OneToManyResult run_one_to_many(const graph::Graph& g,
                            engine.stats().total_messages});
   };
 
-  OneToManyResult result;
-  result.traffic = engine.run(engine_observer);
-
-  result.coreness.assign(g.num_nodes(), 0);
-  for (const auto& h : engine.hosts()) {
-    h.snapshot_into(result.coreness);
-  }
-  result.estimates_shipped_by_host.reserve(engine.hosts().size());
-  result.last_send_round_by_host.reserve(engine.hosts().size());
-  for (const auto& h : engine.hosts()) {
-    result.estimates_shipped_by_host.push_back(h.estimates_shipped());
-    result.estimates_shipped_total += h.estimates_shipped();
-    result.last_send_round_by_host.push_back(h.last_send_round());
-  }
-  result.overhead_per_node = static_cast<double>(result.estimates_shipped_total) /
-                             static_cast<double>(g.num_nodes());
+  const auto traffic = engine.run(engine_observer);
+  OneToManyResult result =
+      harvest_one_to_many_result(engine.hosts(), g.num_nodes());
+  result.traffic = traffic;
   return result;
 }
 

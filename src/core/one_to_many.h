@@ -134,6 +134,20 @@ struct OneToManyResult {
   std::vector<std::uint64_t> last_send_round_by_host;
 };
 
+/// Build the host state machines for a run: one OneToManyHost per host id
+/// in [0, num_hosts). Shared by the simulated runner and par's real-thread
+/// runner so both drive identical protocol state.
+[[nodiscard]] std::vector<OneToManyHost> make_one_to_many_hosts(
+    const graph::Graph& g, const std::vector<sim::HostId>& owner,
+    sim::HostId num_hosts, CommPolicy policy);
+
+/// Harvest everything except `traffic` out of finished hosts (coreness,
+/// shipped-estimate profile, overhead metric, last-send rounds). One
+/// implementation keeps the simulated and real-thread runners from
+/// drifting apart — their results must stay bit-identical.
+[[nodiscard]] OneToManyResult harvest_one_to_many_result(
+    const std::vector<OneToManyHost>& hosts, graph::NodeId num_nodes);
+
 /// Run Algorithms 3–5 with `config.num_hosts` hosts over `g`. Observer
 /// overloads as in run_one_to_one: (round, span) lambdas bind to the
 /// EstimateObserver form, (const ProgressEvent&) to the unified form.

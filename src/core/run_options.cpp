@@ -9,6 +9,11 @@ std::vector<std::string> RunOptions::validate() const {
                        std::to_string(num_hosts) +
                        " (one-to-many and bsp need at least one host)");
   }
+  if (threads > 4096) {
+    problems.push_back("threads must be <= 4096, got " +
+                       std::to_string(threads) +
+                       " (0 means one worker per hardware thread)");
+  }
   if (faults.duplicate_probability < 0.0 ||
       faults.duplicate_probability > 1.0) {
     problems.push_back("faults.duplicate_probability must be in [0, 1], got " +

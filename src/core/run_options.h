@@ -52,6 +52,12 @@ struct RunOptions : sim::EngineConfig {
   AssignmentPolicy assignment = AssignmentPolicy::kModulo;  // §3.2.2
   CommPolicy comm = CommPolicy::kPointToPoint;              // §3.2.1
   bool targeted_send = true;                                // §3.1.2
+  /// Worker threads for the real-execution protocols (src/par):
+  /// one-to-many-par and bsp-par. 0 = one worker per hardware thread.
+  /// Simulated protocols ignore it. Results are thread-count invariant:
+  /// the same request at any `threads` yields identical coreness and
+  /// traffic (only the wall clock changes).
+  unsigned threads = 0;
 
   /// Returns every problem found, empty when the options are usable.
   /// Messages are actionable ("num_hosts must be >= 1, got 0"), meant to
@@ -91,6 +97,14 @@ struct ProgressEvent {
 
 /// Unified per-round observer. Invoked after every executed round with
 /// the freshest estimates; an empty function is never called.
+///
+/// Thread-safety contract (holds for EVERY runtime, including the real-
+/// thread protocols in src/par): events are delivered serially — at most
+/// one invocation in flight, rounds strictly increasing, and a
+/// happens-before edge between consecutive invocations. Observers may
+/// therefore mutate plain state without locks; they must not assume the
+/// events all arrive on the thread that called decompose (the parallel
+/// engines fire them from whichever worker completes the round barrier).
 using ProgressObserver = std::function<void(const ProgressEvent&)>;
 
 }  // namespace kcore::core

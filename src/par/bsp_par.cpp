@@ -1,0 +1,189 @@
+// run_bsp_par — the Pregel port on shared memory (see par/runtime.h).
+//
+// Instead of materializing messages, workers communicate through a shared
+// atomic coreness-estimate table with two epochs: every superstep reads
+// neighbor estimates from the PREV epoch and publishes recomputed values
+// into the NEXT epoch; the barrier completion step swaps the epochs. That
+// is Pregel's superstep semantics with the MIN-combiner folded away: a
+// vertex reading est_prev[v] sees exactly the value the combined message
+// from v would have carried. Changed vertices activate their neighbors
+// through a shared atomic dirty-flag table (the MPMC side of the design —
+// many writers may flag the same vertex; a relaxed store of 1 is a
+// natural idempotent merge).
+//
+// All table traffic uses relaxed atomics: the barrier between supersteps
+// already provides the happens-before ordering; the atomics exist so the
+// table is also safely sampled live (observers, future async monitors)
+// and so ThreadSanitizer can vouch for the whole runtime.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/compute_index.h"
+#include "par/engine.h"
+#include "par/round_loop.h"
+#include "par/runtime.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace kcore::par {
+
+namespace {
+
+struct alignas(64) WorkerTally {
+  std::uint64_t changed = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t cross_worker = 0;
+};
+
+}  // namespace
+
+BspParResult run_bsp_par(const graph::Graph& g,
+                         const core::RunOptions& options,
+                         const core::ProgressObserver& observer) {
+  BspParResult result;
+  const graph::NodeId n = g.num_nodes();
+  if (n == 0) {
+    result.stats.converged = true;
+    result.threads_used = resolve_threads(options.threads);
+    return result;
+  }
+
+  unsigned workers = resolve_threads(options.threads);
+  if (workers > n) workers = n;
+  result.threads_used = workers;
+  const auto setup_start = std::chrono::steady_clock::now();
+
+  // Vertex -> worker shard via the §3.2.2 policies; the kRandom policy's
+  // seed is a pure stream split of the root seed, so re-running with a
+  // different thread count never silently reshuffles unrelated streams.
+  const auto owner = core::assign_nodes(
+      n, workers, options.assignment, util::split_stream(options.seed, 0));
+  std::vector<std::vector<graph::NodeId>> owned(workers);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    owned[owner[u]].push_back(u);
+  }
+
+  // The shared estimate table, double-buffered by epoch. Initialized to
+  // the degrees (Algorithm 1's starting estimate).
+  std::vector<std::atomic<graph::NodeId>> est_a(n), est_b(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    est_a[u].store(g.degree(u), std::memory_order_relaxed);
+  }
+  auto* est_prev = &est_a;
+  auto* est_next = &est_b;
+
+  // Dirty flags, also double-buffered: cur is consumed by owners this
+  // superstep, next accumulates activations for the following one.
+  std::vector<std::atomic<std::uint8_t>> act_a(n), act_b(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    act_a[u].store(1, std::memory_order_relaxed);
+  }
+  auto* act_cur = &act_a;
+  auto* act_next = &act_b;
+
+  const std::uint64_t limit =
+      options.max_rounds > 0 ? options.max_rounds
+                             : static_cast<std::uint64_t>(n) * 2 + 64;
+  const bool targeted = options.targeted_send;
+
+  std::vector<WorkerTally> tallies(workers);
+  struct WorkerScratch {
+    std::vector<graph::NodeId> gather;
+    std::vector<graph::NodeId> counts;
+  };
+  std::vector<WorkerScratch> scratch(workers);
+
+  auto body = [&](unsigned w, std::uint64_t /*round*/) {
+    auto& prev = *est_prev;
+    auto& next = *est_next;
+    auto& cur_flags = *act_cur;
+    auto& next_flags = *act_next;
+    auto& my = scratch[w];
+    WorkerTally tally;
+    for (const graph::NodeId u : owned[w]) {
+      const graph::NodeId k = prev[u].load(std::memory_order_relaxed);
+      if (cur_flags[u].load(std::memory_order_relaxed) == 0) {
+        next[u].store(k, std::memory_order_relaxed);
+        continue;
+      }
+      cur_flags[u].store(0, std::memory_order_relaxed);
+      graph::NodeId refined = k;
+      if (k > 0) {
+        my.gather.clear();
+        for (const graph::NodeId v : g.neighbors(u)) {
+          my.gather.push_back(prev[v].load(std::memory_order_relaxed));
+        }
+        refined = core::compute_index(my.gather, k, my.counts);
+      }
+      next[u].store(refined, std::memory_order_relaxed);
+      if (refined < k) {
+        ++tally.changed;
+        for (const graph::NodeId v : g.neighbors(u)) {
+          // §3.1.2 targeted send: an estimate >= the neighbor's own
+          // current value cannot lower its computeIndex — skip the wake.
+          if (targeted &&
+              prev[v].load(std::memory_order_relaxed) <= refined) {
+            continue;
+          }
+          ++tally.emitted;
+          if (owner[v] != w) ++tally.cross_worker;
+          next_flags[v].store(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    tallies[w] = tally;
+  };
+
+  std::vector<graph::NodeId> snapshot;
+  auto completion = [&](std::uint64_t round) -> bool {
+    // Single-threaded: all workers are parked at the barrier.
+    std::uint64_t changed = 0;
+    for (auto& tally : tallies) {
+      changed += tally.changed;
+      result.stats.messages_emitted += tally.emitted;
+      result.stats.messages_cross_worker += tally.cross_worker;
+      tally = WorkerTally{};
+    }
+    // Shared-table deliveries are combined by construction.
+    result.stats.messages_delivered = result.stats.messages_emitted;
+    result.stats.supersteps = round;
+    if (observer) {
+      snapshot.resize(n);
+      for (graph::NodeId u = 0; u < n; ++u) {
+        snapshot[u] = (*est_next)[u].load(std::memory_order_relaxed);
+      }
+      observer(core::ProgressEvent{round, snapshot,
+                                   result.stats.messages_delivered});
+    }
+    std::swap(est_prev, est_next);
+    std::swap(act_cur, act_next);
+    if (changed == 0) {
+      result.stats.converged = true;
+      return false;
+    }
+    return round < limit;
+  };
+
+  const auto run_start = std::chrono::steady_clock::now();
+  run_round_loop(workers, body, completion);
+  const auto run_stop = std::chrono::steady_clock::now();
+  result.setup_ms = std::chrono::duration<double, std::milli>(
+                        run_start - setup_start)
+                        .count();
+  result.run_ms =
+      std::chrono::duration<double, std::milli>(run_stop - run_start)
+          .count();
+
+  // After the final swap the freshest epoch is est_prev.
+  result.coreness.resize(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    result.coreness[u] = (*est_prev)[u].load(std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace kcore::par

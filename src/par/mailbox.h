@@ -1,0 +1,71 @@
+// Double-buffered SPSC mailboxes for barrier-synchronized rounds.
+//
+// The parallel engine's communication fabric is a workers × workers matrix
+// of slots; slot (s, r) carries the messages worker s sends to worker r.
+// Each slot holds TWO buffers and the round parity selects which one is
+// the write side: in round t senders append to bufs[t & 1] while receivers
+// drain what round t-1 wrote into bufs[(t & 1) ^ 1]. Compute-on-A while
+// neighbors-enqueue-into-B, with the roles swapping every round.
+//
+// Why this needs no locks and no atomics: each slot has exactly ONE
+// writer (worker s, during its round phase) and ONE reader (worker r,
+// during its round phase), and within any single round they touch
+// DIFFERENT buffers. The engine's round barrier orders round t's writes
+// before round t+1's reads, so the buffer handoff is race-free — a
+// single-producer/single-consumer queue whose synchronization is the
+// barrier itself. This is deliberately simpler (and faster) than an MPMC
+// queue: under bulk-synchronous rounds, per-pair SPSC is all the paper's
+// host model needs.
+//
+// Slots are cache-line aligned so two workers appending to adjacent slots
+// never false-share.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kcore::par {
+
+template <typename Item>
+class MailboxMatrix {
+ public:
+  explicit MailboxMatrix(unsigned workers) : workers_(workers) {
+    KCORE_CHECK_MSG(workers >= 1, "mailbox matrix needs >= 1 worker");
+    slots_.resize(static_cast<std::size_t>(workers) * workers);
+  }
+
+  /// Buffer worker `from` appends to in round `round`, addressed to `to`.
+  [[nodiscard]] std::vector<Item>& write_side(unsigned from, unsigned to,
+                                              std::uint64_t round) {
+    return slot(from, to).bufs[round & 1];
+  }
+
+  /// Buffer worker `to` drains in round `round`: what `from` wrote in
+  /// round - 1. The receiver clears it after draining; by the time the
+  /// sender reuses it as a write side (round + 1), the barrier has
+  /// ordered the clear before the reuse.
+  [[nodiscard]] std::vector<Item>& read_side(unsigned from, unsigned to,
+                                             std::uint64_t round) {
+    return slot(from, to).bufs[(round & 1) ^ 1];
+  }
+
+  [[nodiscard]] unsigned workers() const noexcept { return workers_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::vector<Item> bufs[2];
+  };
+
+  [[nodiscard]] Slot& slot(unsigned from, unsigned to) {
+    KCORE_DCHECK(from < workers_ && to < workers_);
+    return slots_[static_cast<std::size_t>(from) * workers_ + to];
+  }
+
+  unsigned workers_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace kcore::par

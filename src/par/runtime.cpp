@@ -1,0 +1,79 @@
+#include "par/runtime.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/assignment.h"
+#include "par/engine.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace kcore::par {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point start, Clock::time_point stop) {
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+OneToManyParResult run_one_to_many_par(const graph::Graph& g,
+                                       const core::RunOptions& options,
+                                       const core::ProgressObserver& observer) {
+  OneToManyParResult result;
+  if (g.num_nodes() == 0) {
+    // The facade rejects empty graphs, but direct callers (and the
+    // edge-case tests) get the sensible answer instead of a crash.
+    result.traffic.converged = true;
+    result.threads_used = resolve_threads(options.threads);
+    return result;
+  }
+  KCORE_CHECK_MSG(options.num_hosts >= 1, "need at least one host");
+
+  const auto setup_start = Clock::now();
+  // Same assignment call and host construction as the simulator runner
+  // (core/one_to_many.cpp) — this is what makes the par run's traffic
+  // bit-identical to sim::Engine in synchronous mode.
+  const auto owner = core::assign_nodes(g.num_nodes(), options.num_hosts,
+                                        options.assignment, options.seed);
+  auto hosts =
+      core::make_one_to_many_hosts(g, owner, options.num_hosts, options.comm);
+
+  EngineConfig engine_config;
+  engine_config.threads = options.threads;
+  engine_config.max_rounds =
+      options.max_rounds > 0
+          ? options.max_rounds
+          : static_cast<std::uint64_t>(g.num_nodes()) * 2 + 64;
+
+  Engine<core::OneToManyHost> engine(std::move(hosts), engine_config);
+
+  std::vector<graph::NodeId> snapshot(g.num_nodes(), 0);
+  auto engine_observer = [&](std::uint64_t round,
+                             const std::vector<core::OneToManyHost>& hs) {
+    if (!observer) return;
+    // Runs inside the barrier completion step: every worker is parked, so
+    // reading host state here is race-free and the event stream is
+    // serialized in round order.
+    for (const auto& h : hs) h.snapshot_into(snapshot);
+    observer(core::ProgressEvent{round, snapshot,
+                                 engine.stats().total_messages});
+  };
+
+  const auto run_start = Clock::now();
+  const auto traffic = engine.run(engine_observer);
+  const auto run_stop = Clock::now();
+
+  static_cast<core::OneToManyResult&>(result) =
+      core::harvest_one_to_many_result(engine.hosts(), g.num_nodes());
+  result.traffic = traffic;
+  result.threads_used = engine.threads_used();
+  result.setup_ms = ms_between(setup_start, run_start);
+  result.run_ms = ms_between(run_start, run_stop);
+  return result;
+}
+
+}  // namespace kcore::par

@@ -1,0 +1,82 @@
+// kcore::par — real shared-memory parallel execution of the paper's
+// protocols.
+//
+// Everything under src/par/ exists to turn the repo's *simulated* speedup
+// into *measured* speedup: the paper's central claim is that k-core
+// decomposition parallelizes cleanly under the one-to-many host model,
+// and these runners execute that model with actual worker threads.
+//
+//  * run_one_to_many_par — Algorithms 3–5 verbatim: the node set is
+//    sharded into `num_hosts` OneToManyHost state machines by the
+//    core::assignment policies, and par::Engine drives them with
+//    `threads` workers, double-buffered SPSC mailboxes and barrier
+//    rounds. Coreness AND traffic are bit-identical to the simulator in
+//    synchronous mode — the same protocol, now on real cores.
+//
+//  * run_bsp_par — the Pregel-style port on shared memory: vertices are
+//    sharded across workers, every superstep recomputes dirty vertices
+//    with computeIndex against a SHARED ATOMIC estimate table (two
+//    epochs, prev/next, swapped at the barrier), and changed vertices
+//    activate their neighbors through atomic dirty flags instead of
+//    materialized messages. Supersteps and message counts are a pure
+//    function of the graph — independent of thread count and shard
+//    assignment.
+//
+// Seed stability: any randomness (the kRandom assignment policy, future
+// fault injection) is derived with util::split_stream from the root seed
+// and a LOGICAL stream index (shard id, not thread id), so results never
+// depend on how many threads happened to run the shards.
+//
+// Both runners handle the degenerate graphs the facade never forwards
+// (empty graph, single node) so they can also be driven directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/pregel.h"
+#include "core/one_to_many.h"
+#include "core/run_options.h"
+#include "graph/graph.h"
+
+namespace kcore::par {
+
+/// One-to-many result plus the execution profile of the real run.
+struct OneToManyParResult : core::OneToManyResult {
+  /// Worker threads actually used (after clamping to the shard count).
+  unsigned threads_used = 0;
+  /// Single-threaded setup (assignment + host construction) vs the
+  /// parallel round loop, separated so scaling studies can apply Amdahl
+  /// honestly: only run_ms is expected to shrink with threads.
+  double setup_ms = 0.0;
+  double run_ms = 0.0;
+};
+
+/// BSP result: coreness plus the framework statistics (messages_* count
+/// activation notifications; with the shared estimate table every
+/// delivery is "combined" by construction, so emitted == delivered).
+struct BspParResult {
+  std::vector<graph::NodeId> coreness;
+  bsp::BspStats stats;
+  unsigned threads_used = 0;
+  double setup_ms = 0.0;  // table allocation + shard assignment
+  double run_ms = 0.0;    // the parallel superstep loop
+};
+
+/// Run the §3.2 one-to-many protocol on real threads. Consumed options:
+/// threads (0 = hardware concurrency), num_hosts, assignment, comm, seed,
+/// max_rounds (0 = automatic). mode is ignored — real barrier rounds ARE
+/// the synchronous model; faults are rejected by api::validate upstream.
+[[nodiscard]] OneToManyParResult run_one_to_many_par(
+    const graph::Graph& g, const core::RunOptions& options,
+    const core::ProgressObserver& observer = {});
+
+/// Run the Pregel-style shared-memory port. Consumed options: threads,
+/// assignment, targeted_send (skip notifying neighbors the new estimate
+/// cannot affect), seed, max_rounds. num_hosts is ignored — workers own
+/// vertex shards directly.
+[[nodiscard]] BspParResult run_bsp_par(
+    const graph::Graph& g, const core::RunOptions& options,
+    const core::ProgressObserver& observer = {});
+
+}  // namespace kcore::par

@@ -36,6 +36,14 @@
 #include "util/check.h"
 #include "util/rng.h"
 
+namespace kcore::par {
+// The real-thread engine (par/engine.h) drives the same Host protocols
+// through the same Context type; forward-declared here so Context can
+// befriend it without this header knowing anything else about threads.
+template <typename Host>
+class Engine;
+}  // namespace kcore::par
+
 namespace kcore::sim {
 
 /// Host identifier: dense indices in [0, num_hosts).
@@ -114,6 +122,8 @@ class Context {
  private:
   template <SimHost H>
   friend class Engine;
+  template <typename H>
+  friend class kcore::par::Engine;
 
   struct Outgoing {
     HostId to;

@@ -119,6 +119,28 @@ class Xoshiro256 {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Pure stream-split: the seed of logical stream `stream` under root seed
+/// `root`. Unlike Xoshiro256::fork (which advances the parent generator,
+/// so the result depends on call order), this is a pure function of
+/// (root, stream) — the derivation the parallel runtime needs: seed every
+/// logical shard by its INDEX and the derived streams are identical no
+/// matter how many threads execute the shards or in what order. Both
+/// inputs are passed through SplitMix64 so adjacent roots and adjacent
+/// stream indices land on decorrelated seeds.
+[[nodiscard]] constexpr std::uint64_t split_stream(
+    std::uint64_t root, std::uint64_t stream) noexcept {
+  SplitMix64 root_mix(root);
+  SplitMix64 stream_mix(root_mix.next() ^
+                        (stream + 0x9e3779b97f4a7c15ULL));
+  return stream_mix.next();
+}
+
+/// Ready-made generator for stream `stream` of root seed `root`.
+[[nodiscard]] inline Xoshiro256 stream_rng(std::uint64_t root,
+                                           std::uint64_t stream) noexcept {
+  return Xoshiro256(split_stream(root, stream));
+}
+
 /// Fisher–Yates shuffle with our own generator (std::shuffle's exact output
 /// is implementation-defined; this one is reproducible everywhere).
 template <typename T>

@@ -15,6 +15,8 @@
 // Examples:
 //   kcore generate --family ba --n 10000 --m 3 --output ba.txt
 //   kcore decompose --input ba.txt --algo one-to-many --hosts 16 --summary
+//   kcore decompose --input ba.txt --algo one-to-many-par --threads 4 \
+//         --hosts 16                  # real threads, not simulated rounds
 //   kcore decompose --input ba.txt --algo one-to-one --mode sync \
 //         --max-extra-delay 2 --dup-prob 0.2
 //   kcore dot --input ba.txt --output ba.dot
@@ -88,6 +90,19 @@ std::string detail_of(const api::DecomposeReport& report) {
     std::string operator()(const api::BspExtras& extras) const {
       return "supersteps=" + std::to_string(extras.stats.supersteps) +
              " delivered=" + std::to_string(extras.stats.messages_delivered);
+    }
+    std::string operator()(const api::ParExtras& extras) const {
+      std::string detail =
+          "threads=" + std::to_string(extras.threads_used) +
+          " shards=" + std::to_string(extras.shards) +
+          " rounds=" + std::to_string(report.traffic.execution_time) +
+          " messages=" + std::to_string(report.traffic.total_messages) +
+          " run=" + util::fmt_double(extras.run_ms, 1) + "ms";
+      if (extras.estimates_shipped_total > 0) {
+        detail += " estimates_shipped=" +
+                  std::to_string(extras.estimates_shipped_total);
+      }
+      return detail;
     }
   };
   return std::visit(Visitor{report}, report.extras);
