@@ -6,6 +6,7 @@
 #include "core/one_to_many.h"
 #include "core/one_to_one.h"
 #include "core/pregel_kcore.h"
+#include "par/async_engine.h"
 #include "par/runtime.h"
 #include "seq/kcore_seq.h"
 #include "util/check.h"
@@ -113,6 +114,27 @@ DecomposeReport run_bsp_par_protocol(const DecomposeRequest& request,
   return report;
 }
 
+DecomposeReport run_bsp_async_protocol(const DecomposeRequest& request,
+                                       const ProgressObserver& observer) {
+  auto result = par::run_bsp_async(*request.graph, request.options, observer);
+  DecomposeReport report;
+  report.coreness = std::move(result.coreness);
+  // No rounds to map: the async run reports re-activation notifications
+  // as its traffic and always terminates at the exact fixed point.
+  report.traffic.total_messages = result.stats.re_enqueues;
+  report.traffic.converged = true;
+  AsyncExtras extras;
+  extras.threads_used = result.threads_used;
+  extras.relaxations = result.stats.relaxations;
+  extras.steals = result.stats.steals;
+  extras.re_enqueues = result.stats.re_enqueues;
+  extras.detector_passes = result.stats.detector_passes;
+  extras.setup_ms = result.setup_ms;
+  extras.run_ms = result.run_ms;
+  report.extras = extras;
+  return report;
+}
+
 /// "bz, peeling, ..." — the one source of the key list used by every
 /// unknown-protocol diagnostic.
 std::string joined_keys(const ProtocolRegistry& registry) {
@@ -146,6 +168,10 @@ ProtocolRegistry::ProtocolRegistry() {
   add({std::string(kProtocolBspPar), "§6 (par)",
        "shared-memory BSP port: threads over a shared atomic estimate table",
        run_bsp_par_protocol});
+  add({std::string(kProtocolBspAsync), "§4/§3.3 (async)",
+       "chaotic relaxation: work-stealing threads, no barriers, concurrent "
+       "quiescence detector",
+       run_bsp_async_protocol});
 }
 
 ProtocolRegistry& ProtocolRegistry::instance() {
@@ -210,12 +236,31 @@ std::vector<std::string> validate(const DecomposeRequest& request) {
        request.protocol == kProtocolPeeling ||
        request.protocol == kProtocolBsp ||
        request.protocol == kProtocolOneToManyPar ||
-       request.protocol == kProtocolBspPar)) {
+       request.protocol == kProtocolBspPar ||
+       request.protocol == kProtocolBspAsync)) {
     problems.push_back(
         "protocol '" + request.protocol +
         "' has no channel-fault model; drop max_extra_delay / "
         "duplicate_probability (only one-to-one and one-to-many simulate "
         "faulty channels)");
+  }
+  // The §3.2.1 comm policy shapes how one-to-many hosts flush estimates
+  // to each other; every other runtime has no such channel (sequential
+  // baselines, the BSP ports' shared tables, the async runtime's single
+  // estimate table). A non-default policy there would be a silent no-op —
+  // reject it instead of reporting results as if broadcast had happened.
+  if (request.options.comm != CommPolicy::kPointToPoint &&
+      (request.protocol == kProtocolBz ||
+       request.protocol == kProtocolPeeling ||
+       request.protocol == kProtocolOneToOne ||
+       request.protocol == kProtocolBsp ||
+       request.protocol == kProtocolBspPar ||
+       request.protocol == kProtocolBspAsync)) {
+    problems.push_back(
+        "protocol '" + request.protocol +
+        "' has no host-to-host comm channels; --comm " +
+        std::string(to_string(request.options.comm)) +
+        " only applies to one-to-many and one-to-many-par");
   }
   return problems;
 }

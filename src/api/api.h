@@ -68,6 +68,11 @@ inline constexpr std::string_view kProtocolBsp = "bsp";            // §6 / [9]
 inline constexpr std::string_view kProtocolOneToManyPar =
     "one-to-many-par";                                       // §3.2, threaded
 inline constexpr std::string_view kProtocolBspPar = "bsp-par";  // §6, threaded
+// Chaotic relaxation on real threads: no rounds, no barriers — one shared
+// atomic estimate table, work-stealing deques of dirty vertices, and the
+// §3.3 centralized termination detector ported to shared memory. The
+// paper's convergence-under-asynchrony claim, executed literally.
+inline constexpr std::string_view kProtocolBspAsync = "bsp-async";  // §4/§3.3
 
 /// A decomposition request: which graph, which protocol, which knobs.
 /// `graph` must outlive the call.
@@ -122,9 +127,31 @@ struct ParExtras {
   std::uint64_t cross_shard_messages = 0;
 };
 
+/// Async (chaotic-relaxation) extras: the schedule's execution profile.
+/// Unlike every other protocol these numbers are NOT deterministic — they
+/// depend on the actual interleaving — but the coreness in the report is
+/// bit-identical to the sequential baseline regardless (pinned by
+/// tests/test_async_property.cpp).
+struct AsyncExtras {
+  unsigned threads_used = 0;
+  /// Vertex recomputations executed (>= one per vertex).
+  std::uint64_t relaxations = 0;
+  /// Vertices taken from another worker's deque.
+  std::uint64_t steals = 0;
+  /// Re-activations of already-processed vertices (successful in-queue
+  /// flag transitions after the initial all-dirty seeding).
+  std::uint64_t re_enqueues = 0;
+  /// Quiescence-detector confirmation passes.
+  std::uint64_t detector_passes = 0;
+  /// Single-threaded setup (table + worklist seeding) vs the parallel
+  /// relaxation phase; speedup studies should use run_ms.
+  double setup_ms = 0.0;
+  double run_ms = 0.0;
+};
+
 using ProtocolExtras =
     std::variant<std::monostate, OneToOneExtras, OneToManyExtras, BspExtras,
-                 ParExtras>;
+                 ParExtras, AsyncExtras>;
 
 /// The unified result of a decomposition run.
 ///

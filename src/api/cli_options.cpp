@@ -73,12 +73,13 @@ const char* run_options_flag_help() {
   return R"(run options (shared by every protocol; unused knobs are ignored):
   --mode sync|cycle          delivery semantics of the SIMULATED protocols
                              (default: cycle); the *-par protocols always
-                             execute barrier-synchronous real rounds
+                             execute barrier-synchronous real rounds, and
+                             bsp-async has no rounds at all
   --seed S                   RNG seed (default: 1)
   --max-rounds N             hard round cap, 0 = automatic (default: 0)
   --hosts N                  hosts / BSP workers (default: 16)
-  --threads N                worker threads for the *-par protocols
-                             (default: 0 = one per hardware thread)
+  --threads N                worker threads for the *-par and bsp-async
+                             protocols (default: 0 = one per hw thread)
   --assignment modulo|block|random|hash   node-to-host policy (default: modulo)
   --comm broadcast|point-to-point         one-to-many comm (default: point-to-point)
   --max-extra-delay D        fault plan: extra delivery delay in rounds

@@ -9,8 +9,8 @@
 //   --seed S                   RNG seed
 //   --max-rounds N             hard round cap (0 = automatic bound)
 //   --hosts N                  hosts (one-to-many) / workers (bsp)
-//   --threads N                worker threads (one-to-many-par, bsp-par);
-//                              0 = one per hardware thread
+//   --threads N                worker threads (one-to-many-par, bsp-par,
+//                              bsp-async); 0 = one per hardware thread
 //   --assignment modulo|block|random|hash   node-to-host policy (§3.2.2)
 //   --comm broadcast|point-to-point         one-to-many policy (§3.2.1)
 //   --max-extra-delay D        fault plan: extra delivery delay in rounds

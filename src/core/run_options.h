@@ -53,10 +53,11 @@ struct RunOptions : sim::EngineConfig {
   CommPolicy comm = CommPolicy::kPointToPoint;              // §3.2.1
   bool targeted_send = true;                                // §3.1.2
   /// Worker threads for the real-execution protocols (src/par):
-  /// one-to-many-par and bsp-par. 0 = one worker per hardware thread.
-  /// Simulated protocols ignore it. Results are thread-count invariant:
-  /// the same request at any `threads` yields identical coreness and
-  /// traffic (only the wall clock changes).
+  /// one-to-many-par, bsp-par and bsp-async. 0 = one worker per hardware
+  /// thread. Simulated protocols ignore it. Coreness is thread-count
+  /// invariant for all of them; the barrier protocols' traffic stats are
+  /// too, while bsp-async's schedule profile (steals, re-enqueues) is
+  /// interleaving-dependent by nature.
   unsigned threads = 0;
 
   /// Returns every problem found, empty when the options are usable.

@@ -18,8 +18,16 @@
 //     the maximum "last round anyone generated an estimate" and conclude
 //     termination when that maximum stays unchanged for a confirmation
 //     window. gossip_termination() in agg/termination.h.
+//
+// QuiescenceDetector below is mechanism 2 ported to SHARED MEMORY for the
+// async runtime (par/async_engine.h): the master's per-host activity
+// reports become one global outstanding-work counter, and "declare
+// termination one round after every host has reported quiet" becomes a
+// confirmation pass — a second seq_cst read of the counter across a full
+// fence before the done flag is raised.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -59,5 +67,71 @@ struct CentralizedTermination {
 [[nodiscard]] CentralizedTermination centralized_termination(
     std::uint64_t execution_time,
     const std::vector<std::uint64_t>& activity_transitions);
+
+/// Concurrent quiescence detector — the §3.3 centralized detector ported
+/// to shared memory, used by the async (chaotic-relaxation) runtime.
+///
+/// Accounting contract (the caller's side of the §4 safety argument):
+///  * add() BEFORE the work unit becomes discoverable by other workers
+///    (e.g. before the vertex is pushed onto a steal deque);
+///  * finish() AFTER the unit is fully processed, INCLUDING any add()
+///    calls for follow-on work it spawned.
+/// Under that discipline outstanding() == 0 implies no unit is queued,
+/// none is being processed, and none can appear (only processing spawns
+/// work) — true global quiescence, not a transient dip.
+///
+/// try_confirm() is the detection step: a first seq_cst read finding zero
+/// is the "every host reports quiet" event; the confirmation pass — a
+/// second read across a full fence — is the master's extra round before it
+/// declares termination. Once confirmed, done() stays true forever (the
+/// protocol guarantees no spontaneous work). Any worker may call
+/// try_confirm() concurrently; confirmation is idempotent.
+class QuiescenceDetector {
+ public:
+  /// Work units created (flag transitions 0 -> 1 in the async engine).
+  void add(std::uint64_t n = 1) noexcept {
+    outstanding_.fetch_add(static_cast<std::int64_t>(n),
+                           std::memory_order_acq_rel);
+  }
+
+  /// One previously-added unit retired (processed to completion).
+  void finish() noexcept {
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] std::int64_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+
+  /// Attempt termination detection; true once the run is quiescent.
+  [[nodiscard]] bool try_confirm() noexcept {
+    if (done_.load(std::memory_order_acquire)) return true;
+    if (outstanding_.load(std::memory_order_seq_cst) != 0) return false;
+    passes_.fetch_add(1, std::memory_order_relaxed);
+    // Confirmation pass: the fence orders this re-read after every
+    // add/finish that preceded the first read in the seq_cst order — a
+    // counter that is still (or again) nonzero cancels the declaration.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (outstanding_.load(std::memory_order_seq_cst) != 0) return false;
+    done_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  /// Sticky: set only by a successful try_confirm().
+  [[nodiscard]] bool done() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  /// Confirmation passes started (first read saw zero) — the async
+  /// analogue of the detector's control-message count.
+  [[nodiscard]] std::uint64_t passes() const noexcept {
+    return passes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<bool> done_{false};
+};
 
 }  // namespace kcore::core

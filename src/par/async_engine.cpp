@@ -1,0 +1,236 @@
+#include "par/async_engine.h"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/assignment.h"
+#include "core/compute_index.h"
+#include "par/engine.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace kcore::par {
+
+// --- AsyncWorklist ----------------------------------------------------------
+
+AsyncWorklist::AsyncWorklist(std::uint32_t size, unsigned workers)
+    : in_queue_(size) {
+  KCORE_CHECK_MSG(workers >= 1, "worklist needs at least one worker");
+  for (std::uint32_t i = 0; i < size; ++i) {
+    in_queue_[i].store(0, std::memory_order_relaxed);
+  }
+  deques_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    deques_.push_back(std::make_unique<WorkerState>());
+  }
+}
+
+void AsyncWorklist::seed(std::uint32_t item, unsigned worker) {
+  in_queue_[item].store(1, std::memory_order_relaxed);
+  detector_.add();
+  deques_[worker]->deque.push(item);
+  ++deques_[worker]->enqueues;
+}
+
+bool AsyncWorklist::schedule(std::uint32_t item, unsigned worker) {
+  // Only the 0->1 winner enqueues: a vertex is in at most one deque, and
+  // each enqueue is matched by exactly one acquire+finish.
+  if (in_queue_[item].exchange(1, std::memory_order_acq_rel) != 0) {
+    return false;
+  }
+  // add() BEFORE the push: the moment the item is stealable it is already
+  // counted, so the detector can never observe a transient zero.
+  detector_.add();
+  auto& mine = *deques_[worker];
+  mine.deque.push(item);
+  ++mine.enqueues;
+  return true;
+}
+
+std::uint32_t AsyncWorklist::acquire(unsigned worker) {
+  auto& mine = *deques_[worker];
+  std::uint32_t item = kNone;
+  if (mine.deque.pop(item)) return item;
+  const auto n = static_cast<unsigned>(deques_.size());
+  for (unsigned offset = 1; offset < n; ++offset) {
+    const unsigned victim = (worker + offset) % n;
+    if (deques_[victim]->deque.steal(item)) {
+      ++mine.steals;
+      return item;
+    }
+  }
+  return kNone;
+}
+
+void AsyncWorklist::begin(std::uint32_t item) {
+  // Exchange, not store: every flag write stays an RMW, so this clear
+  // synchronizes with each preceding schedule()'s 1-exchange and the
+  // inputs written before those schedules are visible to the caller.
+  (void)in_queue_[item].exchange(0, std::memory_order_acq_rel);
+}
+
+std::uint64_t AsyncWorklist::total_steals() const {
+  std::uint64_t total = 0;
+  for (const auto& state : deques_) total += state->steals;
+  return total;
+}
+
+std::uint64_t AsyncWorklist::total_enqueues() const {
+  std::uint64_t total = 0;
+  for (const auto& state : deques_) total += state->enqueues;
+  return total;
+}
+
+// --- run_bsp_async ----------------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+AsyncResult run_bsp_async(const graph::Graph& g,
+                          const core::RunOptions& options,
+                          const core::ProgressObserver& /*observer*/) {
+  AsyncResult result;
+  const graph::NodeId n = g.num_nodes();
+  if (n == 0) {
+    result.threads_used = resolve_threads(options.threads);
+    return result;
+  }
+
+  unsigned workers = resolve_threads(options.threads);
+  if (workers > n) workers = n;
+  result.threads_used = workers;
+  const auto setup_start = Clock::now();
+
+  // The one shared estimate table, initialized to the degrees (Algorithm
+  // 1's starting estimate). All traffic goes through it — no epochs.
+  std::vector<std::atomic<graph::NodeId>> est(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    est[u].store(g.degree(u), std::memory_order_relaxed);
+  }
+
+  AsyncWorklist worklist(n, workers);
+  // Initial distribution of the all-dirty vertex set over the worker
+  // deques via the §3.2.2 policies — a pure function of the options (the
+  // kRandom policy splits the root seed), never of the schedule.
+  const auto owner = core::assign_nodes(
+      n, workers, options.assignment, util::split_stream(options.seed, 0));
+  for (graph::NodeId u = 0; u < n; ++u) {
+    worklist.seed(u, owner[u]);
+  }
+
+  const bool targeted = options.targeted_send;
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker_fn = [&](unsigned w) {
+    try {
+      std::vector<graph::NodeId> gather;
+      std::vector<graph::NodeId> counts;
+      unsigned idle_sweeps = 0;
+      while (!worklist.done() && !abort.load(std::memory_order_relaxed)) {
+        const std::uint32_t u = worklist.acquire(w);
+        if (u == AsyncWorklist::kNone) {
+          // Nothing runnable HERE is not termination: another worker may
+          // still be relaxing (its wakes will repopulate the deques).
+          // Only the detector's confirmed zero ends the run.
+          if (worklist.try_confirm()) break;
+          // Back off while dry: a long sequential dependency chain can
+          // idle most of the pool, and a tight retry loop would ping-pong
+          // the detector counter's cache line against the one worker
+          // whose add/finish RMWs are the critical path.
+          if (++idle_sweeps < 64) {
+            std::this_thread::yield();
+          } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+          continue;
+        }
+        idle_sweeps = 0;
+        worklist.begin(u);  // clear-before-read: the wakeup handshake
+        const graph::NodeId k = est[u].load(std::memory_order_acquire);
+        graph::NodeId refined = k;
+        if (k > 0) {
+          gather.clear();
+          for (const graph::NodeId v : g.neighbors(u)) {
+            gather.push_back(est[v].load(std::memory_order_acquire));
+          }
+          refined = core::compute_index(gather, k, counts);
+        }
+        if (refined < k) {
+          // Publish via CAS-min: est only decreases, and a concurrent
+          // relaxation of u may already have gone lower.
+          graph::NodeId cur = est[u].load(std::memory_order_relaxed);
+          bool lowered = false;
+          while (cur > refined) {
+            if (est[u].compare_exchange_weak(cur, refined,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+              lowered = true;
+              break;
+            }
+          }
+          // Wake only if WE published new information; a racing lowerer
+          // that beat us to <= refined already woke the neighborhood for
+          // its (stronger) value.
+          if (lowered) {
+            for (const graph::NodeId v : g.neighbors(u)) {
+              // §3.1.2 targeted wake, still safe under asynchrony: est[v]
+              // never rises, so est[v] <= refined stays true forever and
+              // v's computeIndex can never be lowered by this estimate.
+              if (targeted &&
+                  est[v].load(std::memory_order_acquire) <= refined) {
+                continue;
+              }
+              worklist.schedule(v, w);
+            }
+          }
+        }
+        // Retire AFTER the wakes: the detector counts our follow-on work
+        // before this unit stops being outstanding.
+        worklist.finish();
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      abort.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  const auto run_start = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker_fn, w);
+  worker_fn(0);
+  for (auto& thread : pool) thread.join();
+  const auto run_stop = Clock::now();
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.setup_ms =
+      std::chrono::duration<double, std::milli>(run_start - setup_start)
+          .count();
+  result.run_ms =
+      std::chrono::duration<double, std::milli>(run_stop - run_start).count();
+  // Exactly-once scheduling (begins == enqueues, pinned by the worklist
+  // stress test) means the relaxation count IS the enqueue count.
+  result.stats.relaxations = worklist.total_enqueues();
+  result.stats.steals = worklist.total_steals();
+  result.stats.re_enqueues = worklist.total_enqueues() - n;
+  result.stats.detector_passes = worklist.detector().passes();
+
+  // The workers' join happens-before these loads: the table is final.
+  result.coreness.resize(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    result.coreness[u] = est[u].load(std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace kcore::par

@@ -1,0 +1,162 @@
+// Async chaotic-relaxation runtime — the paper's protocol with the round
+// structure removed entirely.
+//
+// The §4 proofs never rely on synchrony: estimates are upper bounds that
+// only decrease (Theorem 2), computeIndex is monotone in its inputs, and
+// the true coreness is the unique fixed point (Theorem 1). Any schedule
+// that (a) applies computeIndex with SOME previously-published estimates
+// and (b) re-examines a vertex whenever a neighbor's estimate drops,
+// converges to the exact decomposition — that is chaotic relaxation, and
+// it is exactly the asynchrony tolerance the paper claims for deployed
+// (non-lockstep) hosts. run_bsp_async executes it on shared memory:
+//
+//  * ONE shared atomic estimate table — no epochs, no double buffering,
+//    no barriers. Readers may observe half-propagated states; the lattice
+//    argument above makes every such state safe.
+//  * Per-worker Chase–Lev deques (par/steal_deque.h) of dirty vertices;
+//    idle workers steal from the top of their peers' deques.
+//  * A lost-wakeup-safe re-enqueue protocol: one atomic in-queue flag per
+//    vertex. schedule() enqueues only on the flag's 0->1 exchange (a
+//    vertex sits in at most one deque); a worker clears the flag — also
+//    with an exchange, so every flag write is an RMW and the release
+//    sequence never breaks — BEFORE reading its inputs. An estimate that
+//    drops after the clear re-flags and re-enqueues the vertex; one that
+//    dropped before is visible to the read (the clearing exchange
+//    synchronizes with every earlier flag RMW). Either way the update is
+//    never lost.
+//  * Concurrent quiescence detection: core::QuiescenceDetector counts
+//    outstanding work (add on every enqueue, finish after a vertex is
+//    fully processed, including the wakes it issued), and an idle worker
+//    that finds the counter at zero runs the confirmation pass — the §3.3
+//    centralized detector ported to shared memory.
+//
+// AsyncWorklist is the scheduling core (flags + deques + detector)
+// factored out of the engine so tests/test_async_runtime.cpp can hammer
+// the protocol directly, without a graph in the loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/run_options.h"
+#include "core/termination.h"
+#include "graph/graph.h"
+#include "par/steal_deque.h"
+
+namespace kcore::par {
+
+/// Execution profile of an async run (the AsyncExtras payload).
+struct AsyncStats {
+  /// Vertex recomputations executed (>= n: every vertex is processed at
+  /// least once, re-activations add more).
+  std::uint64_t relaxations = 0;
+  /// Vertices obtained from another worker's deque.
+  std::uint64_t steals = 0;
+  /// Successful 0->1 flag transitions AFTER the initial seeding — the
+  /// activation notifications that actually materialized.
+  std::uint64_t re_enqueues = 0;
+  /// Quiescence-detector confirmation passes started.
+  std::uint64_t detector_passes = 0;
+};
+
+/// Coreness plus the run profile.
+struct AsyncResult {
+  std::vector<graph::NodeId> coreness;
+  AsyncStats stats;
+  unsigned threads_used = 0;
+  double setup_ms = 0.0;  // table/worklist construction + seeding
+  double run_ms = 0.0;    // the chaotic-relaxation phase
+};
+
+/// The scheduling core: per-item in-queue flags, per-worker steal deques,
+/// and the shared quiescence detector. Items are dense ids in [0, size).
+///
+/// Thread contract: worker w is the only caller of acquire(w) and the only
+/// owner of deque w; schedule(item, w) may be called by any worker (it
+/// pushes into the CALLER's deque, which it owns). seed() is single-
+/// threaded, before the workers start.
+class AsyncWorklist {
+ public:
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+
+  AsyncWorklist(std::uint32_t size, unsigned workers);
+
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(deques_.size());
+  }
+
+  /// Pre-run seeding: flag `item` and enqueue it into `worker`'s deque.
+  /// Must not race with acquire/schedule.
+  void seed(std::uint32_t item, unsigned worker);
+
+  /// Activation: flag `item` and, if this call won the 0->1 transition,
+  /// enqueue it into the calling worker's deque. Returns true when this
+  /// call enqueued (false: the item was already scheduled elsewhere).
+  bool schedule(std::uint32_t item, unsigned worker);
+
+  /// Next item for worker w: own deque first (LIFO), then steal sweeps
+  /// over the other workers. kNone when nothing was found (the caller
+  /// should try_confirm()/back off and retry — kNone is NOT termination).
+  [[nodiscard]] std::uint32_t acquire(unsigned worker);
+
+  /// Clear the acquired item's in-queue flag. MUST be called before
+  /// reading the item's inputs: the exchange synchronizes with every
+  /// earlier schedule()'s flag RMW, so inputs written before those
+  /// schedules are visible after this call — and any write that lands
+  /// after it re-flags the item. This ordering is the no-lost-wakeup
+  /// guarantee.
+  void begin(std::uint32_t item);
+
+  /// Retire the acquired item after processing it — including every
+  /// schedule() it issued (the detector's accounting contract).
+  void finish() noexcept { detector_.finish(); }
+
+  /// Idle worker's termination attempt (counter zero + confirmation
+  /// pass); sticky once true.
+  [[nodiscard]] bool try_confirm() noexcept {
+    return detector_.try_confirm();
+  }
+  [[nodiscard]] bool done() const noexcept { return detector_.done(); }
+
+  [[nodiscard]] const core::QuiescenceDetector& detector() const noexcept {
+    return detector_;
+  }
+
+  /// True iff `item`'s in-queue flag is currently set (tests/monitoring).
+  [[nodiscard]] bool flagged(std::uint32_t item) const {
+    return in_queue_[item].load(std::memory_order_acquire) != 0;
+  }
+
+  /// Post-run tallies, summed over workers (call after the workers join).
+  [[nodiscard]] std::uint64_t total_steals() const;
+  [[nodiscard]] std::uint64_t total_enqueues() const;
+
+ private:
+  struct alignas(64) WorkerState {
+    StealDeque<std::uint32_t> deque;
+    std::uint64_t steals = 0;    // written only by the owning worker
+    std::uint64_t enqueues = 0;  // successful schedule() calls
+  };
+
+  std::vector<std::atomic<std::uint8_t>> in_queue_;
+  std::vector<std::unique_ptr<WorkerState>> deques_;
+  core::QuiescenceDetector detector_;
+};
+
+/// Run the async chaotic-relaxation decomposition. Consumed options:
+/// threads (0 = hardware concurrency), assignment + seed (initial
+/// distribution of vertices over worker deques — a pure function of the
+/// options, never of the schedule), targeted_send (§3.1.2 wake filter,
+/// safe under asynchrony because estimates only decrease). mode,
+/// max_rounds, num_hosts and comm are round-/simulator-shaped and are
+/// ignored (api::validate polices the ones that would silently lie).
+///
+/// The observer is accepted for signature parity but never invoked: the
+/// ProgressObserver contract is per-round, and this runtime has no rounds.
+[[nodiscard]] AsyncResult run_bsp_async(
+    const graph::Graph& g, const core::RunOptions& options,
+    const core::ProgressObserver& observer = {});
+
+}  // namespace kcore::par

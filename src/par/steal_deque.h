@@ -1,0 +1,147 @@
+// Chase–Lev work-stealing deque (the scheduling backbone of the async
+// chaotic-relaxation engine in par/async_engine.h).
+//
+// One OWNER thread pushes and pops at the bottom (LIFO — freshly woken
+// vertices are hot in cache); any number of THIEF threads steal from the
+// top (FIFO — thieves drain the oldest work, which minimizes owner/thief
+// contention to the single element where top meets bottom). This is the
+// classic dynamic circular deque of Chase & Lev (SPAA'05) with the C11
+// memory orderings of Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13):
+//
+//  * push: store the element, release-fence, bump bottom (relaxed) — a
+//    thief that acquires top and sees the new bottom also sees the slot;
+//  * pop: decrement bottom, seq_cst fence, read top; the fence totally
+//    orders the owner's bottom write against concurrent steals' top reads,
+//    so the last element is handed out exactly once (pop and a racing
+//    steal arbitrate through a CAS on top);
+//  * steal: acquire top, seq_cst fence, acquire bottom, read the slot,
+//    then CAS top — a lost CAS means another thief (or the owner's pop)
+//    won that element.
+//
+// Growth: the ring doubles when full. Only the owner grows; thieves may
+// still be reading the OLD ring, so retired rings are kept alive until the
+// deque is destroyed (a handful of geometrically-growing arrays — bounded
+// memory, zero hazard-pointer machinery).
+//
+// Element type T must be trivially copyable (slots are std::atomic<T>).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace kcore::par {
+
+template <typename T>
+class StealDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "slots are std::atomic<T>: T must be trivially copyable");
+
+ public:
+  /// `capacity_hint` is rounded up to a power of two (minimum 2).
+  explicit StealDeque(std::uint64_t capacity_hint = 64) {
+    std::uint64_t capacity = 2;
+    while (capacity < capacity_hint) capacity *= 2;
+    rings_.push_back(std::make_unique<Ring>(capacity));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only: push at the bottom. Grows the ring when full.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(ring->capacity) - 1) {
+      ring = grow(ring, t, b);
+    }
+    ring->slot(b).store(value, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop at the bottom. False when empty.
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Already empty — undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = ring->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it through top.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Thieves (any thread): steal from the top. False when empty or when
+  /// the race for the element was lost (callers just try elsewhere).
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    out = ring->slot(t).load(std::memory_order_relaxed);
+    return top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  }
+
+  /// Racy size estimate (monitoring/tests only — never a correctness
+  /// signal; emptiness is decided by pop/steal themselves).
+  [[nodiscard]] std::int64_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  [[nodiscard]] std::uint64_t capacity() const {
+    return ring_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::uint64_t cap)
+        : capacity(cap), slots(new std::atomic<T>[cap]) {}
+    [[nodiscard]] std::atomic<T>& slot(std::int64_t i) {
+      return slots[static_cast<std::uint64_t>(i) & (capacity - 1)];
+    }
+    std::uint64_t capacity;  // power of two
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    rings_.push_back(std::make_unique<Ring>(old->capacity * 2));
+    Ring* bigger = rings_.back().get();
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    // Thieves acquire this pointer; the slot copies above are published by
+    // the release store together with everything the owner wrote.
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  // All rings ever allocated; retired ones stay alive for in-flight
+  // thieves (owner-only mutation, only through push's grow path).
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace kcore::par

@@ -288,7 +288,8 @@ TEST(ApiValidate, FaultPlanRejectedForFaultFreeRuntimes) {
   api::RunOptions options;
   options.faults.max_extra_delay = 2;
   for (const auto protocol :
-       {api::kProtocolBz, api::kProtocolPeeling, api::kProtocolBsp}) {
+       {api::kProtocolBz, api::kProtocolPeeling, api::kProtocolBsp,
+        api::kProtocolBspAsync}) {
     api::DecomposeRequest request;
     request.graph = &g;
     request.protocol = std::string(protocol);
@@ -305,6 +306,53 @@ TEST(ApiValidate, FaultPlanRejectedForFaultFreeRuntimes) {
     const auto report = api::decompose(g, protocol, options);
     EXPECT_TRUE(report.traffic.converged) << protocol;
   }
+}
+
+TEST(ApiValidate, ChannellessProtocolsRejectCommPolicy) {
+  // The §3.2.1 comm policy shapes host-to-host flushes; for a runtime
+  // with no such channels (sequential baselines, the BSP ports' shared
+  // tables, the async estimate table) a broadcast policy would be a
+  // silent no-op, so validate() must refuse it with a pointer to the
+  // protocols that do consume it.
+  const Graph g = gen::clique(4);
+  api::DecomposeRequest request;
+  request.graph = &g;
+  request.options.comm = api::CommPolicy::kBroadcast;
+  for (const auto protocol :
+       {api::kProtocolBz, api::kProtocolPeeling, api::kProtocolOneToOne,
+        api::kProtocolBsp, api::kProtocolBspPar, api::kProtocolBspAsync}) {
+    request.protocol = std::string(protocol);
+    const auto problems = api::validate(request);
+    ASSERT_EQ(problems.size(), 1U) << protocol;
+    EXPECT_NE(problems[0].find("broadcast"), std::string::npos) << protocol;
+    EXPECT_NE(problems[0].find("one-to-many"), std::string::npos)
+        << protocol;
+    EXPECT_THROW((void)api::decompose(request), util::CheckError)
+        << protocol;
+  }
+  // The protocols that flush host-to-host keep accepting it.
+  for (const auto protocol :
+       {api::kProtocolOneToMany, api::kProtocolOneToManyPar}) {
+    request.protocol = std::string(protocol);
+    EXPECT_TRUE(api::validate(request).empty()) << protocol;
+  }
+  // And the default (point-to-point) stays valid everywhere.
+  request.protocol = std::string(api::kProtocolBspAsync);
+  request.options.comm = api::CommPolicy::kPointToPoint;
+  EXPECT_TRUE(api::validate(request).empty());
+}
+
+TEST(ApiValidate, AsyncFaultAndCommProblemsAccumulate) {
+  const Graph g = gen::clique(4);
+  api::DecomposeRequest request;
+  request.graph = &g;
+  request.protocol = std::string(api::kProtocolBspAsync);
+  request.options.faults.duplicate_probability = 0.5;
+  request.options.comm = api::CommPolicy::kBroadcast;
+  const auto problems = api::validate(request);
+  ASSERT_EQ(problems.size(), 2U);
+  EXPECT_NE(problems[0].find("channel-fault"), std::string::npos);
+  EXPECT_NE(problems[1].find("broadcast"), std::string::npos);
 }
 
 TEST(ApiValidate, DecomposeThrowsOnUnknownProtocol) {

@@ -104,6 +104,14 @@ std::string detail_of(const api::DecomposeReport& report) {
       }
       return detail;
     }
+    std::string operator()(const api::AsyncExtras& extras) const {
+      return "threads=" + std::to_string(extras.threads_used) +
+             " relaxations=" + std::to_string(extras.relaxations) +
+             " steals=" + std::to_string(extras.steals) +
+             " re_enqueues=" + std::to_string(extras.re_enqueues) +
+             " detector_passes=" + std::to_string(extras.detector_passes) +
+             " run=" + util::fmt_double(extras.run_ms, 1) + "ms";
+    }
   };
   return std::visit(Visitor{report}, report.extras);
 }
@@ -120,7 +128,12 @@ int cmd_decompose(const util::Args& args) {
   // --progress N streams one estimate-span summary every N rounds.
   const auto progress_every = args.get_int("progress", 0);
   api::ProgressObserver observer;
-  if (progress_every > 0) {
+  if (progress_every > 0 && algo == api::kProtocolBspAsync) {
+    // Per-round observers have nothing to hook into a round-free runtime;
+    // say so up front instead of looking like a hung run.
+    std::cerr << "note: --progress is ignored for bsp-async (chaotic "
+                 "relaxation has no rounds to report)\n";
+  } else if (progress_every > 0) {
     observer = [&](const api::ProgressEvent& event) {
       if (event.round % static_cast<std::uint64_t>(progress_every) != 0) {
         return;
