@@ -1,8 +1,8 @@
 #include "api/api.h"
 
-#include <chrono>
 #include <utility>
 
+#include "api/session.h"
 #include "core/one_to_many.h"
 #include "core/one_to_one.h"
 #include "core/pregel_kcore.h"
@@ -15,26 +15,11 @@ namespace kcore::api {
 
 namespace {
 
-DecomposeReport run_bz(const DecomposeRequest& request,
-                       const ProgressObserver& /*observer*/) {
-  DecomposeReport report;
-  report.coreness = seq::coreness_bz(*request.graph);
-  report.traffic.converged = true;
-  return report;
-}
+// --- result -> report adapters ---------------------------------------------
+// One mapping per protocol family, shared by every execution path so the
+// one-shot and prepared routes cannot drift apart.
 
-DecomposeReport run_peeling(const DecomposeRequest& request,
-                            const ProgressObserver& /*observer*/) {
-  DecomposeReport report;
-  report.coreness = seq::coreness_peeling(*request.graph);
-  report.traffic.converged = true;
-  return report;
-}
-
-DecomposeReport run_one_to_one_protocol(const DecomposeRequest& request,
-                                        const ProgressObserver& observer) {
-  auto result =
-      core::run_one_to_one(*request.graph, request.options, observer);
+DecomposeReport report_of(core::OneToOneResult result) {
   DecomposeReport report;
   report.coreness = std::move(result.coreness);
   report.traffic = std::move(result.traffic);
@@ -43,10 +28,7 @@ DecomposeReport run_one_to_one_protocol(const DecomposeRequest& request,
   return report;
 }
 
-DecomposeReport run_one_to_many_protocol(const DecomposeRequest& request,
-                                         const ProgressObserver& observer) {
-  auto result =
-      core::run_one_to_many(*request.graph, request.options, observer);
+DecomposeReport report_of(core::OneToManyResult result) {
   DecomposeReport report;
   report.coreness = std::move(result.coreness);
   report.traffic = std::move(result.traffic);
@@ -58,12 +40,7 @@ DecomposeReport run_one_to_many_protocol(const DecomposeRequest& request,
   return report;
 }
 
-DecomposeReport run_bsp_protocol(const DecomposeRequest& request,
-                                 const ProgressObserver& observer) {
-  const RunOptions& options = request.options;
-  auto result = core::run_pregel_kcore(
-      *request.graph, options.num_hosts, options.targeted_send,
-      options.assignment, options.seed, observer, options.max_rounds);
+DecomposeReport report_of(core::PregelKCoreResult result) {
   DecomposeReport report;
   report.coreness = std::move(result.coreness);
   // Map the BSP statistics onto the shared traffic shape (full BspStats
@@ -77,27 +54,22 @@ DecomposeReport run_bsp_protocol(const DecomposeRequest& request,
   return report;
 }
 
-DecomposeReport run_one_to_many_par_protocol(const DecomposeRequest& request,
-                                             const ProgressObserver& observer) {
-  auto result =
-      par::run_one_to_many_par(*request.graph, request.options, observer);
+DecomposeReport report_of(par::OneToManyParResult result, sim::HostId shards) {
   DecomposeReport report;
-  report.coreness = std::move(result.coreness);
-  report.traffic = std::move(result.traffic);
   ParExtras extras;
   extras.threads_used = result.threads_used;
-  extras.shards = request.options.num_hosts;
+  extras.shards = shards;
   extras.setup_ms = result.setup_ms;
   extras.run_ms = result.run_ms;
   extras.estimates_shipped_total = result.estimates_shipped_total;
   extras.overhead_per_node = result.overhead_per_node;
+  report.coreness = std::move(result.coreness);
+  report.traffic = std::move(result.traffic);
   report.extras = extras;
   return report;
 }
 
-DecomposeReport run_bsp_par_protocol(const DecomposeRequest& request,
-                                     const ProgressObserver& observer) {
-  auto result = par::run_bsp_par(*request.graph, request.options, observer);
+DecomposeReport report_of(par::BspParResult result) {
   DecomposeReport report;
   report.coreness = std::move(result.coreness);
   report.traffic.total_messages = result.stats.messages_delivered;
@@ -114,9 +86,7 @@ DecomposeReport run_bsp_par_protocol(const DecomposeRequest& request,
   return report;
 }
 
-DecomposeReport run_bsp_async_protocol(const DecomposeRequest& request,
-                                       const ProgressObserver& observer) {
-  auto result = par::run_bsp_async(*request.graph, request.options, observer);
+DecomposeReport report_of(par::AsyncResult result) {
   DecomposeReport report;
   report.coreness = std::move(result.coreness);
   // No rounds to map: the async run reports re-activation notifications
@@ -135,6 +105,142 @@ DecomposeReport run_bsp_async_protocol(const DecomposeRequest& request,
   return report;
 }
 
+// --- prepared implementations ----------------------------------------------
+// One PreparedProtocol per built-in. The constructor is the amortizable
+// phase (what the one-shot runners used to re-derive per call); run()
+// replays from it, copying pristine state or resetting tables in place
+// so every run is bit-identical.
+
+class PreparedSequential final : public PreparedProtocol {
+ public:
+  using Fn = std::vector<graph::NodeId> (*)(const graph::Graph&);
+  explicit PreparedSequential(Fn fn) : fn_(fn) {}
+
+  DecomposeReport run(const DecomposeRequest& request,
+                      const ProgressObserver& /*observer*/) override {
+    DecomposeReport report;
+    report.coreness = fn_(*request.graph);
+    report.traffic.converged = true;
+    return report;
+  }
+
+ private:
+  Fn fn_;
+};
+
+class PreparedOneToOne final : public PreparedProtocol {
+ public:
+  explicit PreparedOneToOne(const DecomposeRequest& request)
+      : nodes_(core::make_one_to_one_nodes(*request.graph,
+                                           request.options.targeted_send)) {}
+
+  DecomposeReport run(const DecomposeRequest& request,
+                      const ProgressObserver& observer) override {
+    // Copy the pristine nodes; the engine consumes its vector.
+    return report_of(core::run_one_to_one_prepared(*request.graph, nodes_,
+                                                   request.options, observer));
+  }
+
+ private:
+  std::vector<core::OneToOneNode> nodes_;
+};
+
+class PreparedOneToMany final : public PreparedProtocol {
+ public:
+  explicit PreparedOneToMany(const DecomposeRequest& request) {
+    const auto& options = request.options;
+    const auto owner =
+        core::assign_nodes(request.graph->num_nodes(), options.num_hosts,
+                           options.assignment, options.seed);
+    hosts_ = core::make_one_to_many_hosts(*request.graph, owner,
+                                          options.num_hosts, options.comm);
+  }
+
+  DecomposeReport run(const DecomposeRequest& request,
+                      const ProgressObserver& observer) override {
+    return report_of(core::run_one_to_many_prepared(*request.graph, hosts_,
+                                                    request.options, observer));
+  }
+
+ private:
+  std::vector<core::OneToManyHost> hosts_;
+};
+
+class PreparedBsp final : public PreparedProtocol {
+ public:
+  explicit PreparedBsp(const DecomposeRequest& request)
+      : owner_(core::assign_nodes(request.graph->num_nodes(),
+                                  request.options.num_hosts,
+                                  request.options.assignment,
+                                  request.options.seed)) {}
+
+  DecomposeReport run(const DecomposeRequest& request,
+                      const ProgressObserver& observer) override {
+    const RunOptions& options = request.options;
+    return report_of(core::run_pregel_kcore_prepared(
+        *request.graph, owner_, options.num_hosts, options.targeted_send,
+        observer, options.max_rounds));
+  }
+
+ private:
+  std::vector<bsp::WorkerId> owner_;
+};
+
+class PreparedOneToManyPar final : public PreparedProtocol {
+ public:
+  explicit PreparedOneToManyPar(const DecomposeRequest& request)
+      : prepared_(par::prepare_one_to_many_par(*request.graph,
+                                               request.options)) {}
+
+  DecomposeReport run(const DecomposeRequest& request,
+                      const ProgressObserver& observer) override {
+    return report_of(
+        par::run_one_to_many_par_prepared(*request.graph, prepared_,
+                                          request.options, observer),
+        request.options.num_hosts);
+  }
+
+ private:
+  par::OneToManyParPrepared prepared_;
+};
+
+class PreparedBspPar final : public PreparedProtocol {
+ public:
+  explicit PreparedBspPar(const DecomposeRequest& request)
+      : prepared_(par::prepare_bsp_par(*request.graph, request.options)) {}
+
+  DecomposeReport run(const DecomposeRequest& request,
+                      const ProgressObserver& observer) override {
+    return report_of(par::run_bsp_par_prepared(*request.graph, prepared_,
+                                               request.options, observer));
+  }
+
+ private:
+  par::BspParPrepared prepared_;
+};
+
+class PreparedBspAsync final : public PreparedProtocol {
+ public:
+  explicit PreparedBspAsync(const DecomposeRequest& request)
+      : prepared_(par::prepare_bsp_async(*request.graph, request.options)) {}
+
+  DecomposeReport run(const DecomposeRequest& request,
+                      const ProgressObserver& observer) override {
+    return report_of(par::run_bsp_async_prepared(*request.graph, prepared_,
+                                                 request.options, observer));
+  }
+
+ private:
+  par::AsyncPrepared prepared_;
+};
+
+template <typename Prepared>
+ProtocolRegistry::Preparer make_request_preparer() {
+  return [](const DecomposeRequest& request) {
+    return std::unique_ptr<PreparedProtocol>(new Prepared(request));
+  };
+}
+
 /// "bz, peeling, ..." — the one source of the key list used by every
 /// unknown-protocol diagnostic.
 std::string joined_keys(const ProtocolRegistry& registry) {
@@ -146,32 +252,160 @@ std::string joined_keys(const ProtocolRegistry& registry) {
   return joined;
 }
 
+/// "a and b" / "a, b and c" — prose list of the protocols whose
+/// capabilities set `flag`, for the knob diagnostics.
+std::string consumers_of(const ProtocolRegistry& registry,
+                         bool Capabilities::* flag) {
+  std::vector<std::string> names;
+  for (const auto& entry : registry.entries()) {
+    if (entry.capabilities.*flag) names.push_back(entry.name);
+  }
+  if (names.empty()) return "no registered protocol";
+  std::string joined;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) joined += (i + 1 == names.size()) ? " and " : ", ";
+    joined += names[i];
+  }
+  return joined;
+}
+
 }  // namespace
 
+const char* to_string(ExecutionKind kind) {
+  switch (kind) {
+    case ExecutionKind::kSequential:
+      return "sequential";
+    case ExecutionKind::kSimulated:
+      return "simulated";
+    case ExecutionKind::kThreadedRounds:
+      return "threaded-rounds";
+    case ExecutionKind::kAsync:
+      return "async";
+  }
+  return "?";
+}
+
+const char* to_string(ObserverGranularity granularity) {
+  switch (granularity) {
+    case ObserverGranularity::kNone:
+      return "none";
+    case ObserverGranularity::kPerRound:
+      return "per-round";
+  }
+  return "?";
+}
+
+std::optional<ExecutionKind> parse_execution_kind(std::string_view name) {
+  if (name == "sequential") return ExecutionKind::kSequential;
+  if (name == "simulated") return ExecutionKind::kSimulated;
+  if (name == "threaded-rounds") return ExecutionKind::kThreadedRounds;
+  if (name == "async") return ExecutionKind::kAsync;
+  return std::nullopt;
+}
+
+std::vector<std::string_view> consumed_knobs(
+    const Capabilities& capabilities) {
+  std::vector<std::string_view> knobs;
+  if (capabilities.consumes_delivery_mode) knobs.push_back("mode");
+  if (capabilities.consumes_fault_plan) knobs.push_back("faults");
+  if (capabilities.consumes_comm_policy) knobs.push_back("comm");
+  if (capabilities.consumes_assignment) knobs.push_back("assignment");
+  if (capabilities.consumes_hosts) knobs.push_back("hosts");
+  if (capabilities.consumes_threads) knobs.push_back("threads");
+  if (capabilities.consumes_targeted_send) knobs.push_back("targeted-send");
+  if (capabilities.consumes_max_rounds) knobs.push_back("max-rounds");
+  return knobs;
+}
+
 ProtocolRegistry::ProtocolRegistry() {
+  // The eight built-ins with their capability descriptors. Every
+  // validate() rule, CLI table row and README capability row derives
+  // from these — there is no other per-protocol knowledge in the facade.
+  Capabilities sequential;  // consumes nothing, streams nothing
+
+  Capabilities one_to_one;
+  one_to_one.execution = ExecutionKind::kSimulated;
+  one_to_one.consumes_delivery_mode = true;
+  one_to_one.consumes_fault_plan = true;
+  one_to_one.consumes_targeted_send = true;
+  one_to_one.consumes_max_rounds = true;
+  one_to_one.observer = ObserverGranularity::kPerRound;
+
+  Capabilities one_to_many;
+  one_to_many.execution = ExecutionKind::kSimulated;
+  one_to_many.consumes_delivery_mode = true;
+  one_to_many.consumes_fault_plan = true;
+  one_to_many.consumes_comm_policy = true;
+  one_to_many.consumes_assignment = true;
+  one_to_many.consumes_hosts = true;
+  one_to_many.consumes_max_rounds = true;
+  one_to_many.observer = ObserverGranularity::kPerRound;
+
+  Capabilities bsp;
+  bsp.execution = ExecutionKind::kSimulated;
+  bsp.consumes_assignment = true;
+  bsp.consumes_hosts = true;  // num_hosts = BSP workers
+  bsp.consumes_targeted_send = true;
+  bsp.consumes_max_rounds = true;
+  bsp.observer = ObserverGranularity::kPerRound;
+
+  Capabilities one_to_many_par;
+  one_to_many_par.execution = ExecutionKind::kThreadedRounds;
+  one_to_many_par.consumes_comm_policy = true;
+  one_to_many_par.consumes_assignment = true;
+  one_to_many_par.consumes_hosts = true;
+  one_to_many_par.consumes_threads = true;
+  one_to_many_par.consumes_max_rounds = true;
+  one_to_many_par.observer = ObserverGranularity::kPerRound;
+
+  Capabilities bsp_par;
+  bsp_par.execution = ExecutionKind::kThreadedRounds;
+  bsp_par.consumes_assignment = true;
+  bsp_par.consumes_threads = true;
+  bsp_par.consumes_targeted_send = true;
+  bsp_par.consumes_max_rounds = true;
+  bsp_par.observer = ObserverGranularity::kPerRound;
+
+  Capabilities bsp_async;
+  bsp_async.execution = ExecutionKind::kAsync;
+  bsp_async.consumes_assignment = true;
+  bsp_async.consumes_threads = true;
+  bsp_async.consumes_targeted_send = true;
+  bsp_async.observer = ObserverGranularity::kNone;
+  bsp_async.deterministic_extras = false;
+
   add({std::string(kProtocolBz), "[3]",
-       "sequential Batagelj–Zaveršnik bucket baseline", run_bz});
+       "sequential Batagelj–Zaveršnik bucket baseline", sequential, nullptr,
+       [](const DecomposeRequest&) {
+         return std::unique_ptr<PreparedProtocol>(
+             new PreparedSequential(&seq::coreness_bz));
+       }});
   add({std::string(kProtocolPeeling), "Def. 1",
-       "naive iterated-peeling oracle (differential testing)", run_peeling});
+       "naive iterated-peeling oracle (differential testing)", sequential,
+       nullptr, [](const DecomposeRequest&) {
+         return std::unique_ptr<PreparedProtocol>(
+             new PreparedSequential(&seq::coreness_peeling));
+       }});
   add({std::string(kProtocolOneToOne), "§3.1",
        "one-to-one protocol: every node is a host (Algorithms 1+2)",
-       run_one_to_one_protocol});
+       one_to_one, nullptr, make_request_preparer<PreparedOneToOne>()});
   add({std::string(kProtocolOneToMany), "§3.2",
        "one-to-many protocol: hosts own node partitions (Algorithms 3-5)",
-       run_one_to_many_protocol});
+       one_to_many, nullptr, make_request_preparer<PreparedOneToMany>()});
   add({std::string(kProtocolBsp), "§6",
-       "Pregel/BSP vertex-program port with vote-to-halt termination",
-       run_bsp_protocol});
+       "Pregel/BSP vertex-program port with vote-to-halt termination", bsp,
+       nullptr, make_request_preparer<PreparedBsp>()});
   add({std::string(kProtocolOneToManyPar), "§3.2 (par)",
        "one-to-many protocol on real worker threads (src/par engine)",
-       run_one_to_many_par_protocol});
+       one_to_many_par, nullptr,
+       make_request_preparer<PreparedOneToManyPar>()});
   add({std::string(kProtocolBspPar), "§6 (par)",
        "shared-memory BSP port: threads over a shared atomic estimate table",
-       run_bsp_par_protocol});
+       bsp_par, nullptr, make_request_preparer<PreparedBspPar>()});
   add({std::string(kProtocolBspAsync), "§4/§3.3 (async)",
        "chaotic relaxation: work-stealing threads, no barriers, concurrent "
        "quiescence detector",
-       run_bsp_async_protocol});
+       bsp_async, nullptr, make_request_preparer<PreparedBspAsync>()});
 }
 
 ProtocolRegistry& ProtocolRegistry::instance() {
@@ -183,8 +417,9 @@ void ProtocolRegistry::add(Entry entry) {
   KCORE_CHECK_MSG(!entry.name.empty(), "protocol key must be non-empty");
   KCORE_CHECK_MSG(!contains(entry.name),
                   "protocol '" << entry.name << "' is already registered");
-  KCORE_CHECK_MSG(entry.run != nullptr,
-                  "protocol '" << entry.name << "' needs a runner");
+  KCORE_CHECK_MSG(entry.run != nullptr || entry.prepare != nullptr,
+                  "protocol '" << entry.name
+                               << "' needs a runner or a preparer");
   entries_.push_back(std::move(entry));
 }
 
@@ -226,64 +461,57 @@ std::vector<std::string> validate(const DecomposeRequest& request) {
   for (auto& problem : request.options.validate()) {
     problems.push_back(std::move(problem));
   }
-  // Knobs a protocol cannot honor are errors, not silent no-ops: a fault
-  // plan aimed at a runtime with no channel model would otherwise report
-  // fault-free results as if injection had happened. The real-thread
-  // protocols run over reliable shared memory — there is no channel to
-  // break — so they reject fault plans too.
-  if (request.options.faults.enabled() &&
-      (request.protocol == kProtocolBz ||
-       request.protocol == kProtocolPeeling ||
-       request.protocol == kProtocolBsp ||
-       request.protocol == kProtocolOneToManyPar ||
-       request.protocol == kProtocolBspPar ||
-       request.protocol == kProtocolBspAsync)) {
+  if (!registry.contains(request.protocol)) return problems;
+
+  // The capability pass: a non-default value for a knob the protocol
+  // does not consume is an error, not a silent no-op — the report would
+  // otherwise look as if the knob had been honored (a fault plan with no
+  // channel to break, a broadcast policy with no host-to-host flushes, a
+  // thread count on a single-threaded simulator). Each rule derives from
+  // the descriptor; no protocol names appear here.
+  const Capabilities& caps =
+      registry.entry(request.protocol).capabilities;
+  const RunOptions& options = request.options;
+  if (options.mode != sim::DeliveryMode::kCycleRandomOrder &&
+      !caps.consumes_delivery_mode) {
+    problems.push_back(
+        "protocol '" + request.protocol +
+        "' has no simulated delivery schedule; --mode " +
+        std::string(to_string(options.mode)) + " only applies to " +
+        consumers_of(registry, &Capabilities::consumes_delivery_mode));
+  }
+  if (options.faults.enabled() && !caps.consumes_fault_plan) {
     problems.push_back(
         "protocol '" + request.protocol +
         "' has no channel-fault model; drop max_extra_delay / "
-        "duplicate_probability (only one-to-one and one-to-many simulate "
-        "faulty channels)");
+        "duplicate_probability (only " +
+        consumers_of(registry, &Capabilities::consumes_fault_plan) +
+        " simulate faulty channels)");
   }
-  // The §3.2.1 comm policy shapes how one-to-many hosts flush estimates
-  // to each other; every other runtime has no such channel (sequential
-  // baselines, the BSP ports' shared tables, the async runtime's single
-  // estimate table). A non-default policy there would be a silent no-op —
-  // reject it instead of reporting results as if broadcast had happened.
-  if (request.options.comm != CommPolicy::kPointToPoint &&
-      (request.protocol == kProtocolBz ||
-       request.protocol == kProtocolPeeling ||
-       request.protocol == kProtocolOneToOne ||
-       request.protocol == kProtocolBsp ||
-       request.protocol == kProtocolBspPar ||
-       request.protocol == kProtocolBspAsync)) {
+  if (options.comm != CommPolicy::kPointToPoint &&
+      !caps.consumes_comm_policy) {
     problems.push_back(
         "protocol '" + request.protocol +
         "' has no host-to-host comm channels; --comm " +
-        std::string(to_string(request.options.comm)) +
-        " only applies to one-to-many and one-to-many-par");
+        std::string(to_string(options.comm)) + " only applies to " +
+        consumers_of(registry, &Capabilities::consumes_comm_policy));
+  }
+  if (options.threads != 0 && !caps.consumes_threads) {
+    problems.push_back(
+        "protocol '" + request.protocol +
+        "' does not run on a worker pool; --threads only applies to " +
+        consumers_of(registry, &Capabilities::consumes_threads));
   }
   return problems;
 }
 
 DecomposeReport decompose(const DecomposeRequest& request,
                           const ProgressObserver& observer) {
-  const auto problems = validate(request);
-  if (!problems.empty()) {
-    std::string joined;
-    for (const auto& problem : problems) {
-      if (!joined.empty()) joined += "; ";
-      joined += problem;
-    }
-    throw util::CheckError("invalid decompose request: " + joined);
-  }
-  const auto& entry = ProtocolRegistry::instance().entry(request.protocol);
-  const auto start = std::chrono::steady_clock::now();
-  DecomposeReport report = entry.run(request, observer);
-  const auto stop = std::chrono::steady_clock::now();
-  report.protocol = request.protocol;
-  report.elapsed_ms =
-      std::chrono::duration<double, std::milli>(stop - start).count();
-  return report;
+  // The one-shot path is a Session that lives for exactly one run:
+  // validate, prepare, run — identical state derivation, identical
+  // report, with the prepare cost billed to this run's setup phase.
+  Session session(request);
+  return session.run(observer);
 }
 
 DecomposeReport decompose(const graph::Graph& g, std::string_view protocol,

@@ -30,6 +30,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -167,11 +169,92 @@ struct DecomposeReport {
   sim::TrafficStats traffic;
   ProtocolExtras extras;
   /// Wall-clock time of the protocol run itself (excludes validation and
-  /// registry dispatch).
+  /// registry dispatch). Invariant: where the extras carry phase timings
+  /// (ParExtras, AsyncExtras), elapsed_ms == setup_ms + run_ms exactly —
+  /// the phases partition the elapsed time, nothing is double-counted
+  /// (pinned by test_api.cpp). setup_ms covers the amortizable work this
+  /// call actually performed: a warm Session::run() reports only its
+  /// residual setup, a one-shot decompose() the full derivation.
   double elapsed_ms = 0.0;
 };
 
+// --- capabilities -----------------------------------------------------------
+
+/// How a protocol executes — the spine of the capability descriptor,
+/// rendered by `kcore protocols` and the README table.
+enum class ExecutionKind {
+  kSequential,      // single-threaded in-process baseline
+  kSimulated,       // sim::Engine / BSP superstep rounds (PeerSim-style)
+  kThreadedRounds,  // real worker threads with barrier rounds (src/par)
+  kAsync,           // real threads, no barriers (chaotic relaxation)
+};
+
+/// What a protocol can stream to a ProgressObserver.
+enum class ObserverGranularity {
+  kNone,      // completes silently (sequential baselines, round-free async)
+  kPerRound,  // one ProgressEvent per round / superstep
+};
+
+[[nodiscard]] const char* to_string(ExecutionKind kind);
+[[nodiscard]] const char* to_string(ObserverGranularity granularity);
+[[nodiscard]] std::optional<ExecutionKind> parse_execution_kind(
+    std::string_view name);
+
+/// Self-describing execution profile of a protocol: how it runs, which
+/// RunOptions knobs it consumes, and whether its report is a pure
+/// function of (graph, options). validate() derives every per-protocol
+/// rule from this descriptor — registering a backend means writing ONE
+/// truthful descriptor, not extending if-chains — and the CLI/README
+/// protocol tables render it.
+///
+/// The consumes_* flags police the "silent lie" knobs: a non-default
+/// delivery mode, fault plan, comm policy or thread count aimed at a
+/// protocol that does not consume it is a validation error, because the
+/// report would otherwise look as if the knob had been honored.
+/// Value-bearing knobs whose default is indistinguishable from intent
+/// (num_hosts, seed, max_rounds) are documented but not policed, and
+/// targeted_send stays unpoliced because one-to-many subsumes it by
+/// design (host-level batching) rather than silently dropping it.
+struct Capabilities {
+  ExecutionKind execution = ExecutionKind::kSequential;
+  bool consumes_delivery_mode = false;  // RunOptions::mode
+  bool consumes_fault_plan = false;     // RunOptions::faults
+  bool consumes_comm_policy = false;    // RunOptions::comm (§3.2.1)
+  bool consumes_assignment = false;     // RunOptions::assignment (§3.2.2)
+  bool consumes_hosts = false;          // RunOptions::num_hosts
+  bool consumes_threads = false;        // RunOptions::threads
+  bool consumes_targeted_send = false;  // §3.1.2 toggle
+  bool consumes_max_rounds = false;     // RunOptions::max_rounds
+  ObserverGranularity observer = ObserverGranularity::kNone;
+  /// False only for schedule-dependent profiles (bsp-async): coreness is
+  /// always deterministic, but steals/relaxation counts are not. The
+  /// Session parity tests key off this flag.
+  bool deterministic_extras = true;
+};
+
+/// The consumed-knob flags as stable human/CLI-facing names (e.g.
+/// {"mode", "faults", "comm"}); the single source for every capability
+/// table.
+[[nodiscard]] std::vector<std::string_view> consumed_knobs(
+    const Capabilities& capabilities);
+
 // --- registry ---------------------------------------------------------------
+
+/// One run of a protocol, prepared: the amortizable derivation
+/// (assignment, host/shard construction, table allocation) happened at
+/// construction time; run() is repeatable and every run's report is
+/// bit-identical to a one-shot decompose() of the same request (timing
+/// fields and schedule-dependent extras excepted). Not thread-safe.
+class PreparedProtocol {
+ public:
+  virtual ~PreparedProtocol() = default;
+
+  /// Execute one run. setup-phase timings in the report cover only this
+  /// run's residual setup; Session adds the prepare cost to the run that
+  /// triggered preparation.
+  [[nodiscard]] virtual DecomposeReport run(
+      const DecomposeRequest& request, const ProgressObserver& observer) = 0;
+};
 
 /// String-keyed protocol registry. Keys are stable CLI-facing names;
 /// registration is open — experiments and future backends can add
@@ -180,18 +263,29 @@ class ProtocolRegistry {
  public:
   using Runner = std::function<DecomposeReport(const DecomposeRequest&,
                                                const ProgressObserver&)>;
+  using Preparer = std::function<std::unique_ptr<PreparedProtocol>(
+      const DecomposeRequest&)>;
 
   struct Entry {
     std::string name;           // registry key, e.g. "one-to-many"
     std::string paper_section;  // e.g. "§3.2" — the protocol table's spine
     std::string summary;        // one-line human description
+    Capabilities capabilities;  // drives validate() and the tables
+    /// One-shot runner. Optional when `prepare` is provided (the facade
+    /// then routes every call through a Session); simple external
+    /// protocols can register just a Runner.
     Runner run;
+    /// Prepared-execution factory backing api::Session. Optional: without
+    /// it, Session::prepare() is a no-op and run() calls `run` each time
+    /// (still bit-identical, nothing amortized).
+    Preparer prepare;
   };
 
-  /// The process-wide registry, with the five built-ins pre-registered.
+  /// The process-wide registry, with the eight built-ins pre-registered.
   [[nodiscard]] static ProtocolRegistry& instance();
 
-  /// Register a protocol. Throws util::CheckError on a duplicate key.
+  /// Register a protocol. Throws util::CheckError on a duplicate key or
+  /// when neither `run` nor `prepare` is provided.
   void add(Entry entry);
 
   [[nodiscard]] bool contains(std::string_view name) const;
@@ -216,15 +310,25 @@ class ProtocolRegistry {
 // --- entry points -----------------------------------------------------------
 
 /// Validate a request without running it: unknown protocol, null graph,
-/// out-of-range options, and knobs the chosen protocol cannot honor
-/// (e.g. a fault plan for the fault-free sequential baselines). Returns
-/// every problem found; empty means the request is runnable.
+/// out-of-range options, and knobs the chosen protocol does not consume
+/// per its Capabilities descriptor (e.g. a fault plan aimed at a
+/// channel-less runtime). A single data-driven pass — no per-protocol
+/// branching; every rule derives from the registry's descriptors.
+/// Returns every problem found; empty means the request is runnable.
 [[nodiscard]] std::vector<std::string> validate(const DecomposeRequest& request);
 
 /// Run a decomposition. Throws util::CheckError with the validate()
 /// problems if the request is invalid. The observer (optional) streams
-/// per-round progress from round-based runtimes; sequential baselines
-/// complete without events.
+/// per-round progress from runtimes whose Capabilities::observer is
+/// kPerRound; the others complete without events.
+///
+/// This is a thin wrapper over api::Session (see api/session.h):
+/// prepare + one run. The run replays from pristine prepared state (one
+/// O(N+M) copy the pre-Session one-shot path did not make — deliberate:
+/// the protocol run dominates it, and one execution path keeps one-shot
+/// and warm reports bit-identical by construction). Callers that
+/// decompose the same (graph, protocol, options) repeatedly should hold
+/// a Session and amortize the prepare itself.
 [[nodiscard]] DecomposeReport decompose(const DecomposeRequest& request,
                                         const ProgressObserver& observer = {});
 

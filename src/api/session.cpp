@@ -1,0 +1,200 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/clock.h"
+
+namespace kcore::api {
+
+namespace {
+
+using Clock = util::SteadyClock;
+using util::ms_between;
+
+void throw_on_problems(const std::vector<std::string>& problems) {
+  if (problems.empty()) return;
+  std::string joined;
+  for (const auto& problem : problems) {
+    if (!joined.empty()) joined += "; ";
+    joined += problem;
+  }
+  throw util::CheckError("invalid decompose request: " + joined);
+}
+
+/// Fallback for protocols registered with only a one-shot Runner:
+/// nothing to amortize, every run() re-executes the runner. The Runner
+/// is copied, not referenced — a later ProtocolRegistry::add() may
+/// reallocate the entry vector and invalidate pointers into it.
+class RunnerPrepared final : public PreparedProtocol {
+ public:
+  explicit RunnerPrepared(ProtocolRegistry::Runner runner)
+      : runner_(std::move(runner)) {}
+
+  DecomposeReport run(const DecomposeRequest& request,
+                      const ProgressObserver& observer) override {
+    return runner_(request, observer);
+  }
+
+ private:
+  ProtocolRegistry::Runner runner_;
+};
+
+}  // namespace
+
+Session::Session(const graph::Graph& g, std::string_view protocol,
+                 RunOptions options) {
+  request_.graph = &g;
+  request_.protocol = std::string(protocol);
+  request_.options = std::move(options);
+  throw_on_problems(validate(request_));
+}
+
+Session::Session(const DecomposeRequest& request) : request_(request) {
+  throw_on_problems(validate(request_));
+}
+
+const Capabilities& Session::capabilities() const noexcept {
+  return ProtocolRegistry::instance().entry(request_.protocol).capabilities;
+}
+
+void Session::prepare() {
+  if (prepared_) return;
+  const auto& entry = ProtocolRegistry::instance().entry(request_.protocol);
+  const auto start = Clock::now();
+  if (entry.prepare) {
+    prepared_ = entry.prepare(request_);
+  } else {
+    prepared_ = std::make_unique<RunnerPrepared>(entry.run);
+  }
+  prepare_ms_ = ms_between(start, Clock::now());
+}
+
+DecomposeReport Session::run(const ProgressObserver& observer) {
+  // A run that triggers preparation absorbs the prepare cost into its
+  // setup accounting; warm runs report only their residual setup.
+  double prepare_cost = 0.0;
+  if (!prepared_) {
+    prepare();
+    prepare_cost = prepare_ms_;
+  }
+  const auto start = Clock::now();
+  DecomposeReport report = prepared_->run(request_, observer);
+  const double run_wall_ms = ms_between(start, Clock::now());
+  report.protocol = request_.protocol;
+  // The elapsed_ms invariant (api.h): where the extras carry phase
+  // timings, elapsed is exactly their sum — the phases partition the
+  // elapsed time. Elsewhere, elapsed is prepare + measured wall.
+  if (auto* par = std::get_if<ParExtras>(&report.extras)) {
+    par->setup_ms += prepare_cost;
+    report.elapsed_ms = par->setup_ms + par->run_ms;
+  } else if (auto* async = std::get_if<AsyncExtras>(&report.extras)) {
+    async->setup_ms += prepare_cost;
+    report.elapsed_ms = async->setup_ms + async->run_ms;
+  } else {
+    report.elapsed_ms = prepare_cost + run_wall_ms;
+  }
+  ++runs_completed_;
+  return report;
+}
+
+// --- Plan -------------------------------------------------------------------
+
+Plan::Plan(const graph::Graph& g, PlanSpec spec)
+    : graph_(&g), spec_(std::move(spec)) {
+  KCORE_CHECK_MSG(!spec_.protocols.empty(),
+                  "a Plan needs at least one protocol");
+  KCORE_CHECK_MSG(spec_.repeats >= 1,
+                  "repeats must be >= 1, got " << spec_.repeats);
+  if (spec_.threads.empty()) spec_.threads = {spec_.base.threads};
+  if (spec_.seeds.empty()) spec_.seeds = {spec_.base.seed};
+}
+
+std::vector<PlanCell> Plan::cells() const {
+  const auto& registry = ProtocolRegistry::instance();
+  std::vector<PlanCell> cells;
+  for (const auto& protocol : spec_.protocols) {
+    // A protocol that does not consume worker threads gets one cell at
+    // the base thread count: sweeping an ignored knob would repeat the
+    // same work under different labels (and fail validation).
+    std::vector<unsigned> threads = spec_.threads;
+    if (registry.contains(protocol) &&
+        !registry.entry(protocol).capabilities.consumes_threads) {
+      threads = {spec_.base.threads};
+    }
+    for (const unsigned t : threads) {
+      for (const std::uint64_t seed : spec_.seeds) {
+        cells.push_back({protocol, t, seed});
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<std::string> Plan::validate() const {
+  std::vector<std::string> problems;
+  for (const auto& cell : cells()) {
+    DecomposeRequest request;
+    request.graph = graph_;
+    request.protocol = cell.protocol;
+    request.options = spec_.base;
+    request.options.threads = cell.threads;
+    request.options.seed = cell.seed;
+    for (auto& problem : api::validate(request)) {
+      if (std::find(problems.begin(), problems.end(), problem) ==
+          problems.end()) {
+        problems.push_back(std::move(problem));
+      }
+    }
+  }
+  return problems;
+}
+
+std::vector<PlanCellResult> Plan::run(
+    const PlanReportHook& on_report,
+    const PlanObserverFactory& observer_factory) {
+  std::vector<PlanCellResult> results;
+  for (const auto& cell : cells()) {
+    RunOptions options = spec_.base;
+    options.threads = cell.threads;
+    options.seed = cell.seed;
+    Session session(*graph_, cell.protocol, options);
+
+    PlanCellResult result;
+    result.cell = cell;
+    result.repeats = spec_.repeats;
+    std::vector<double> wall, warm, run_phase;
+    wall.reserve(static_cast<std::size_t>(spec_.repeats));
+    for (int repeat = 0; repeat < spec_.repeats; ++repeat) {
+      const ProgressObserver observer =
+          observer_factory ? observer_factory(cell, repeat)
+                           : ProgressObserver{};
+      DecomposeReport report = session.run(observer);
+      if (on_report) on_report(cell, repeat, report);
+      wall.push_back(report.elapsed_ms);
+      if (repeat == 0) {
+        result.first_wall_ms = report.elapsed_ms;
+      } else {
+        warm.push_back(report.elapsed_ms);
+      }
+      if (const auto* par = std::get_if<ParExtras>(&report.extras)) {
+        run_phase.push_back(par->run_ms);
+      } else if (const auto* async =
+                     std::get_if<AsyncExtras>(&report.extras)) {
+        run_phase.push_back(async->run_ms);
+      } else {
+        run_phase.push_back(report.elapsed_ms);
+      }
+      if (repeat + 1 == spec_.repeats) result.last = std::move(report);
+    }
+    result.prepare_ms = session.prepare_ms();
+    result.wall_ms = util::SampleSummary::of(wall);
+    result.warm_wall_ms = util::SampleSummary::of(warm);
+    result.run_ms = util::SampleSummary::of(run_phase);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace kcore::api

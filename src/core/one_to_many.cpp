@@ -279,6 +279,14 @@ OneToManyResult run_one_to_many(const graph::Graph& g,
                                   config.assignment, config.seed);
   auto hosts =
       make_one_to_many_hosts(g, owner, config.num_hosts, config.comm);
+  return run_one_to_many_prepared(g, std::move(hosts), config, observer);
+}
+
+OneToManyResult run_one_to_many_prepared(const graph::Graph& g,
+                                         std::vector<OneToManyHost> hosts,
+                                         const OneToManyConfig& config,
+                                         const ProgressObserver& observer) {
+  KCORE_CHECK_MSG(!hosts.empty(), "need at least one prepared host");
 
   // Base-class slice of the shared options, with the engine seed
   // decorrelated from the assignment seed and the automatic round cap.

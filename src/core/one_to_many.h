@@ -148,6 +148,16 @@ struct OneToManyResult {
 [[nodiscard]] OneToManyResult harvest_one_to_many_result(
     const std::vector<OneToManyHost>& hosts, graph::NodeId num_nodes);
 
+/// Drive pre-built hosts to quiescence. `hosts` is consumed (the engine
+/// mutates it in place); callers that want to run the same request again
+/// keep a pristine vector from make_one_to_many_hosts and pass a copy
+/// each time. config.num_hosts/assignment/comm are ignored here — they
+/// were baked into the hosts. run_one_to_many is exactly assignment +
+/// make_one_to_many_hosts + this, bit for bit.
+[[nodiscard]] OneToManyResult run_one_to_many_prepared(
+    const graph::Graph& g, std::vector<OneToManyHost> hosts,
+    const OneToManyConfig& config, const ProgressObserver& observer = {});
+
 /// Run Algorithms 3–5 with `config.num_hosts` hosts over `g`. Observer
 /// overloads as in run_one_to_one: (round, span) lambdas bind to the
 /// EstimateObserver form, (const ProgressEvent&) to the unified form.

@@ -64,15 +64,30 @@ OneToOneResult run_one_to_one(const graph::Graph& g,
                         }));
 }
 
-OneToOneResult run_one_to_one(const graph::Graph& g,
-                              const OneToOneConfig& config,
-                              const ProgressObserver& observer) {
+std::vector<OneToOneNode> make_one_to_one_nodes(const graph::Graph& g,
+                                                bool targeted_send) {
   KCORE_CHECK_MSG(g.num_nodes() > 0, "graph must be non-empty");
   std::vector<OneToOneNode> nodes;
   nodes.reserve(g.num_nodes());
   for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
-    nodes.emplace_back(&g, u, config.targeted_send);
+    nodes.emplace_back(&g, u, targeted_send);
   }
+  return nodes;
+}
+
+OneToOneResult run_one_to_one(const graph::Graph& g,
+                              const OneToOneConfig& config,
+                              const ProgressObserver& observer) {
+  return run_one_to_one_prepared(
+      g, make_one_to_one_nodes(g, config.targeted_send), config, observer);
+}
+
+OneToOneResult run_one_to_one_prepared(const graph::Graph& g,
+                                       std::vector<OneToOneNode> nodes,
+                                       const OneToOneConfig& config,
+                                       const ProgressObserver& observer) {
+  KCORE_CHECK_MSG(nodes.size() == g.num_nodes(),
+                  "prepared nodes must cover every graph node");
 
   // The engine reads exactly the base-class slice of the options; only
   // the automatic round cap is protocol-specific. Theorem 5: execution

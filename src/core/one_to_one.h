@@ -118,6 +118,21 @@ struct OneToOneResult {
   std::vector<std::uint64_t> activity_transitions;
 };
 
+/// Build the per-node protocol state machines — the amortizable setup of
+/// a run (one OneToOneNode per node, estimate slots sized to the
+/// degrees). A prepared vector is pristine: copy it and hand the copy to
+/// run_one_to_one_prepared to execute the same request repeatedly.
+[[nodiscard]] std::vector<OneToOneNode> make_one_to_one_nodes(
+    const graph::Graph& g, bool targeted_send);
+
+/// Drive pre-built nodes to quiescence. `nodes` is consumed (the engine
+/// mutates it in place); config.targeted_send is ignored here — it was
+/// baked into the nodes by make_one_to_one_nodes. run_one_to_one is
+/// exactly make_one_to_one_nodes + this, bit for bit.
+[[nodiscard]] OneToOneResult run_one_to_one_prepared(
+    const graph::Graph& g, std::vector<OneToOneNode> nodes,
+    const OneToOneConfig& config, const ProgressObserver& observer = {});
+
 /// Run Algorithm 1 on every node of `g` until quiescence (or the round
 /// cap). The result's coreness equals the true decomposition whenever
 /// traffic.converged is true (Theorems 2+3). The observer overloads

@@ -10,6 +10,16 @@ PregelKCoreResult run_pregel_kcore(const graph::Graph& g,
                                    const ProgressObserver& observer,
                                    std::uint64_t max_supersteps) {
   auto owner = assign_nodes(g.num_nodes(), num_workers, assignment, seed);
+  return run_pregel_kcore_prepared(g, std::move(owner), num_workers,
+                                   targeted_send, observer, max_supersteps);
+}
+
+PregelKCoreResult run_pregel_kcore_prepared(const graph::Graph& g,
+                                            std::vector<bsp::WorkerId> owner,
+                                            bsp::WorkerId num_workers,
+                                            bool targeted_send,
+                                            const ProgressObserver& observer,
+                                            std::uint64_t max_supersteps) {
   PregelKCoreProgram program;
   program.targeted_send = targeted_send;
   bsp::PregelEngine<PregelKCoreProgram> engine(&g, std::move(owner),

@@ -94,4 +94,13 @@ struct PregelKCoreResult {
     std::uint64_t seed = 0, const ProgressObserver& observer = {},
     std::uint64_t max_supersteps = 0);
 
+/// Prepared variant: the caller computed the vertex→worker assignment
+/// once (core::assign_nodes) and replays it across runs. `owner` is
+/// consumed by the engine; pass a copy per run. run_pregel_kcore is
+/// exactly assign_nodes + this, bit for bit.
+[[nodiscard]] PregelKCoreResult run_pregel_kcore_prepared(
+    const graph::Graph& g, std::vector<bsp::WorkerId> owner,
+    bsp::WorkerId num_workers, bool targeted_send,
+    const ProgressObserver& observer = {}, std::uint64_t max_supersteps = 0);
+
 }  // namespace kcore::core

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "api/session.h"
 #include "eval/experiments.h"
 #include "seq/kcore_seq.h"
 #include "util/table.h"
@@ -26,30 +27,41 @@ std::vector<ErrorSeries> run_fig4(const ExperimentOptions& options) {
     std::vector<double> max_error;   // per round, max over runs & nodes
     double execution_total = 0.0;
 
+    // One Plan over the run seeds; the per-round error accumulation hangs
+    // off the Plan's observer factory, the convergence tally off the
+    // per-report hook.
+    api::PlanSpec plan_spec;
+    plan_spec.protocols = {std::string(api::kProtocolOneToOne)};
     for (int run = 0; run < options.runs; ++run) {
-      api::RunOptions run_options;
-      run_options.seed = options.base_seed + 3000 + static_cast<unsigned>(run);
-      auto observer = [&](const api::ProgressEvent& event) {
-        const std::size_t idx = event.round - 1;
-        if (idx >= sum_error.size()) {
-          sum_error.resize(idx + 1, 0.0);
-          max_error.resize(idx + 1, 0.0);
-        }
-        double sum = 0.0;
-        double mx = 0.0;
-        for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
-          const auto err = static_cast<double>(event.estimates[u]) -
-                           static_cast<double>(truth[u]);
-          sum += err;
-          mx = std::max(mx, err);
-        }
-        sum_error[idx] += sum;
-        max_error[idx] = std::max(max_error[idx], mx);
-      };
-      const auto result =
-          api::decompose(g, api::kProtocolOneToOne, run_options, observer);
-      execution_total += static_cast<double>(result.traffic.execution_time);
+      plan_spec.seeds.push_back(options.base_seed + 3000 +
+                                static_cast<unsigned>(run));
     }
+    api::Plan plan(g, plan_spec);
+    (void)plan.run(
+        [&](const api::PlanCell&, int /*repeat*/,
+            const api::DecomposeReport& result) {
+          execution_total +=
+              static_cast<double>(result.traffic.execution_time);
+        },
+        [&](const api::PlanCell&, int /*repeat*/) {
+          return api::ProgressObserver([&](const api::ProgressEvent& event) {
+            const std::size_t idx = event.round - 1;
+            if (idx >= sum_error.size()) {
+              sum_error.resize(idx + 1, 0.0);
+              max_error.resize(idx + 1, 0.0);
+            }
+            double sum = 0.0;
+            double mx = 0.0;
+            for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+              const auto err = static_cast<double>(event.estimates[u]) -
+                               static_cast<double>(truth[u]);
+              sum += err;
+              mx = std::max(mx, err);
+            }
+            sum_error[idx] += sum;
+            max_error[idx] = std::max(max_error[idx], mx);
+          });
+        });
     series.execution_time_avg = execution_total / options.runs;
     series.avg_error.reserve(sum_error.size());
     for (const double s : sum_error) {

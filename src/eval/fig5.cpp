@@ -1,8 +1,10 @@
 // Figure 5 runner: one-to-many overhead per node vs number of hosts,
-// with (left) and without (right) a broadcast medium.
+// with (left) and without (right) a broadcast medium. Each
+// (profile, hosts, comm) point rides one api::Plan over the run seeds.
 #include <ostream>
 #include <sstream>
 
+#include "api/session.h"
 #include "eval/experiments.h"
 #include "seq/kcore_seq.h"
 #include "util/stats.h"
@@ -25,30 +27,32 @@ std::vector<Fig5Point> run_fig5(const ExperimentOptions& options,
       point.hosts = hosts;
       util::RunningStats broadcast_stats;
       util::RunningStats p2p_stats;
-      for (int run = 0; run < options.runs; ++run) {
-        for (const auto comm :
-             {api::CommPolicy::kBroadcast, api::CommPolicy::kPointToPoint}) {
-          api::RunOptions run_options;
-          run_options.num_hosts = hosts;
-          run_options.comm = comm;
-          run_options.assignment = api::AssignmentPolicy::kModulo;  // §3.2.2
-          run_options.seed =
-              options.base_seed + 4000 + static_cast<unsigned>(run);
-          const auto result =
-              api::decompose(g, api::kProtocolOneToMany, run_options);
+      for (const auto comm :
+           {api::CommPolicy::kBroadcast, api::CommPolicy::kPointToPoint}) {
+        api::PlanSpec plan_spec;
+        plan_spec.protocols = {std::string(api::kProtocolOneToMany)};
+        plan_spec.base.num_hosts = hosts;
+        plan_spec.base.comm = comm;
+        plan_spec.base.assignment = api::AssignmentPolicy::kModulo;  // §3.2.2
+        for (int run = 0; run < options.runs; ++run) {
+          plan_spec.seeds.push_back(options.base_seed + 4000 +
+                                    static_cast<unsigned>(run));
+        }
+        api::Plan plan(g, plan_spec);
+        auto& comm_stats = comm == api::CommPolicy::kBroadcast
+                               ? broadcast_stats
+                               : p2p_stats;
+        (void)plan.run([&](const api::PlanCell&, int /*repeat*/,
+                           const api::DecomposeReport& result) {
           KCORE_CHECK_MSG(result.traffic.converged,
                           profile << "/" << hosts << " did not converge");
           KCORE_CHECK_MSG(result.coreness == truth,
                           profile << "/" << hosts
                                   << " produced wrong coreness");
-          const auto& extras =
-              std::get<api::OneToManyExtras>(result.extras);
-          if (comm == api::CommPolicy::kBroadcast) {
-            broadcast_stats.add(extras.overhead_per_node);
-          } else {
-            p2p_stats.add(extras.overhead_per_node);
-          }
-        }
+          comm_stats.add(
+              std::get<api::OneToManyExtras>(result.extras)
+                  .overhead_per_node);
+        });
       }
       point.overhead_broadcast = broadcast_stats.mean();
       point.overhead_broadcast_max = broadcast_stats.max();

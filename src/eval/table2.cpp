@@ -6,9 +6,11 @@
 // time (the synthetic profile converges faster than the 685k-node
 // original) but keep the paper's 12-column layout.
 #include <algorithm>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
+#include "api/session.h"
 #include "eval/experiments.h"
 #include "seq/kcore_seq.h"
 #include "util/table.h"
@@ -44,26 +46,38 @@ Table2Result run_table2(const std::string& profile,
       std::vector<std::uint64_t>(result.checkpoints.size(), 0));
 
   double execution_total = 0.0;
+  // One Plan over the run seeds. The observer factory hands every run a
+  // fresh checkpoint cursor; the wrong-estimate tallies accumulate across
+  // runs. Checkpoints past convergence have zero wrong nodes — nothing
+  // to add for them.
+  api::PlanSpec plan_spec;
+  plan_spec.protocols = {std::string(api::kProtocolOneToOne)};
   for (int run = 0; run < options.runs; ++run) {
-    api::RunOptions run_options;
-    run_options.seed = options.base_seed + 2000 + static_cast<unsigned>(run);
-    std::size_t next_checkpoint = 0;
-    auto observer = [&](const api::ProgressEvent& event) {
-      while (next_checkpoint < result.checkpoints.size() &&
-             result.checkpoints[next_checkpoint] == event.round) {
-        for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
-          if (event.estimates[u] != truth[u]) {
-            ++wrong_counts[truth[u]][next_checkpoint];
-          }
-        }
-        ++next_checkpoint;
-      }
-    };
-    const auto run_result =
-        api::decompose(g, api::kProtocolOneToOne, run_options, observer);
-    execution_total += static_cast<double>(run_result.traffic.execution_time);
-    // Checkpoints past convergence have zero wrong nodes — nothing to add.
+    plan_spec.seeds.push_back(options.base_seed + 2000 +
+                              static_cast<unsigned>(run));
   }
+  api::Plan plan(g, plan_spec);
+  (void)plan.run(
+      [&](const api::PlanCell&, int /*repeat*/,
+          const api::DecomposeReport& run_result) {
+        execution_total +=
+            static_cast<double>(run_result.traffic.execution_time);
+      },
+      [&](const api::PlanCell&, int /*repeat*/) {
+        auto next_checkpoint = std::make_shared<std::size_t>(0);
+        return api::ProgressObserver([&, next_checkpoint](
+                                         const api::ProgressEvent& event) {
+          while (*next_checkpoint < result.checkpoints.size() &&
+                 result.checkpoints[*next_checkpoint] == event.round) {
+            for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+              if (event.estimates[u] != truth[u]) {
+                ++wrong_counts[truth[u]][*next_checkpoint];
+              }
+            }
+            ++*next_checkpoint;
+          }
+        });
+      });
   result.execution_time_avg = execution_total / options.runs;
 
   for (std::size_t k = 0; k < num_shells; ++k) {

@@ -9,6 +9,7 @@
 #include "core/compute_index.h"
 #include "par/engine.h"
 #include "util/check.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace kcore::par {
@@ -87,40 +88,68 @@ std::uint64_t AsyncWorklist::total_enqueues() const {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = util::SteadyClock;
 
 }  // namespace
 
+AsyncPrepared prepare_bsp_async(const graph::Graph& g,
+                                const core::RunOptions& options) {
+  const graph::NodeId n = g.num_nodes();
+  KCORE_CHECK_MSG(n > 0, "graph must be non-empty");
+  AsyncPrepared prepared;
+  prepared.workers = resolve_threads(options.threads);
+  if (prepared.workers > n) prepared.workers = n;
+  // Initial distribution of the all-dirty vertex set over the worker
+  // deques via the §3.2.2 policies — a pure function of the options (the
+  // kRandom policy splits the root seed), never of the schedule.
+  prepared.owner = core::assign_nodes(n, prepared.workers, options.assignment,
+                                      util::split_stream(options.seed, 0));
+  // The one shared estimate table. All traffic goes through it — no
+  // epochs; run_bsp_async_prepared re-initializes it per run.
+  prepared.est = std::vector<std::atomic<graph::NodeId>>(n);
+  return prepared;
+}
+
 AsyncResult run_bsp_async(const graph::Graph& g,
                           const core::RunOptions& options,
-                          const core::ProgressObserver& /*observer*/) {
-  AsyncResult result;
+                          const core::ProgressObserver& observer) {
   const graph::NodeId n = g.num_nodes();
   if (n == 0) {
+    AsyncResult result;
     result.threads_used = resolve_threads(options.threads);
     return result;
   }
+  const auto setup_start = Clock::now();
+  auto prepared = prepare_bsp_async(g, options);
+  const auto setup_stop = Clock::now();
+  auto result = run_bsp_async_prepared(g, prepared, options, observer);
+  result.setup_ms +=
+      util::ms_between(setup_start, setup_stop);
+  return result;
+}
 
-  unsigned workers = resolve_threads(options.threads);
-  if (workers > n) workers = n;
+AsyncResult run_bsp_async_prepared(const graph::Graph& g,
+                                   AsyncPrepared& prepared,
+                                   const core::RunOptions& options,
+                                   const core::ProgressObserver& /*observer*/) {
+  AsyncResult result;
+  const graph::NodeId n = g.num_nodes();
+  KCORE_CHECK_MSG(prepared.owner.size() == n,
+                  "prepared state does not match this graph");
+  const unsigned workers = prepared.workers;
   result.threads_used = workers;
   const auto setup_start = Clock::now();
 
-  // The one shared estimate table, initialized to the degrees (Algorithm
-  // 1's starting estimate). All traffic goes through it — no epochs.
-  std::vector<std::atomic<graph::NodeId>> est(n);
+  // Reset the shared estimate table to the degrees (Algorithm 1's
+  // starting estimate).
+  std::vector<std::atomic<graph::NodeId>>& est = prepared.est;
   for (graph::NodeId u = 0; u < n; ++u) {
     est[u].store(g.degree(u), std::memory_order_relaxed);
   }
 
   AsyncWorklist worklist(n, workers);
-  // Initial distribution of the all-dirty vertex set over the worker
-  // deques via the §3.2.2 policies — a pure function of the options (the
-  // kRandom policy splits the root seed), never of the schedule.
-  const auto owner = core::assign_nodes(
-      n, workers, options.assignment, util::split_stream(options.seed, 0));
   for (graph::NodeId u = 0; u < n; ++u) {
-    worklist.seed(u, owner[u]);
+    worklist.seed(u, prepared.owner[u]);
   }
 
   const bool targeted = options.targeted_send;
@@ -214,10 +243,9 @@ AsyncResult run_bsp_async(const graph::Graph& g,
   if (first_error) std::rethrow_exception(first_error);
 
   result.setup_ms =
-      std::chrono::duration<double, std::milli>(run_start - setup_start)
-          .count();
+      util::ms_between(setup_start, run_start);
   result.run_ms =
-      std::chrono::duration<double, std::milli>(run_stop - run_start).count();
+      util::ms_between(run_start, run_stop);
   // Exactly-once scheduling (begins == enqueues, pinned by the worklist
   // stress test) means the relaxation count IS the enqueue count.
   result.stats.relaxations = worklist.total_enqueues();

@@ -159,4 +159,28 @@ class AsyncWorklist {
     const graph::Graph& g, const core::RunOptions& options,
     const core::ProgressObserver& observer = {});
 
+/// Amortizable state of an async run, for api::Session's prepare-once /
+/// run-many contract: the pure-function-of-options initial vertex→worker
+/// distribution plus the shared atomic estimate table. Each
+/// run_bsp_async_prepared call re-initializes the table to the degrees
+/// and seeds a fresh worklist (the worklist itself is cheap; the
+/// assignment and the table allocation are not).
+struct AsyncPrepared {
+  unsigned workers = 0;
+  std::vector<sim::HostId> owner;
+  std::vector<std::atomic<graph::NodeId>> est;
+};
+
+[[nodiscard]] AsyncPrepared prepare_bsp_async(const graph::Graph& g,
+                                              const core::RunOptions& options);
+
+/// Execute one run from prepared state. Coreness is bit-identical to the
+/// one-shot runner (and to the sequential baseline); the schedule profile
+/// in stats is interleaving-dependent as always. result.setup_ms covers
+/// only this run's residual setup (table reset + worklist seeding).
+[[nodiscard]] AsyncResult run_bsp_async_prepared(
+    const graph::Graph& g, AsyncPrepared& prepared,
+    const core::RunOptions& options,
+    const core::ProgressObserver& observer = {});
+
 }  // namespace kcore::par

@@ -16,7 +16,6 @@
 // table is also safely sampled live (observers, future async monitors)
 // and so ThreadSanitizer can vouch for the whole runtime.
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "par/round_loop.h"
 #include "par/runtime.h"
 #include "util/check.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace kcore::par {
@@ -41,46 +41,83 @@ struct alignas(64) WorkerTally {
 
 }  // namespace
 
-BspParResult run_bsp_par(const graph::Graph& g,
-                         const core::RunOptions& options,
-                         const core::ProgressObserver& observer) {
-  BspParResult result;
+BspParPrepared prepare_bsp_par(const graph::Graph& g,
+                               const core::RunOptions& options) {
   const graph::NodeId n = g.num_nodes();
-  if (n == 0) {
-    result.stats.converged = true;
-    result.threads_used = resolve_threads(options.threads);
-    return result;
-  }
-
-  unsigned workers = resolve_threads(options.threads);
-  if (workers > n) workers = n;
-  result.threads_used = workers;
-  const auto setup_start = std::chrono::steady_clock::now();
+  KCORE_CHECK_MSG(n > 0, "graph must be non-empty");
+  BspParPrepared prepared;
+  prepared.workers = resolve_threads(options.threads);
+  if (prepared.workers > n) prepared.workers = n;
 
   // Vertex -> worker shard via the §3.2.2 policies; the kRandom policy's
   // seed is a pure stream split of the root seed, so re-running with a
   // different thread count never silently reshuffles unrelated streams.
-  const auto owner = core::assign_nodes(
-      n, workers, options.assignment, util::split_stream(options.seed, 0));
-  std::vector<std::vector<graph::NodeId>> owned(workers);
+  prepared.owner = core::assign_nodes(n, prepared.workers, options.assignment,
+                                      util::split_stream(options.seed, 0));
+  prepared.owned.assign(prepared.workers, {});
   for (graph::NodeId u = 0; u < n; ++u) {
-    owned[owner[u]].push_back(u);
+    prepared.owned[prepared.owner[u]].push_back(u);
   }
 
-  // The shared estimate table, double-buffered by epoch. Initialized to
-  // the degrees (Algorithm 1's starting estimate).
-  std::vector<std::atomic<graph::NodeId>> est_a(n), est_b(n);
+  // The shared tables are allocated once here and reset per run: the
+  // estimate table double-buffered by epoch, the dirty flags likewise.
+  prepared.est_a = std::vector<std::atomic<graph::NodeId>>(n);
+  prepared.est_b = std::vector<std::atomic<graph::NodeId>>(n);
+  prepared.act_a = std::vector<std::atomic<std::uint8_t>>(n);
+  prepared.act_b = std::vector<std::atomic<std::uint8_t>>(n);
+  return prepared;
+}
+
+BspParResult run_bsp_par(const graph::Graph& g,
+                         const core::RunOptions& options,
+                         const core::ProgressObserver& observer) {
+  const graph::NodeId n = g.num_nodes();
+  if (n == 0) {
+    BspParResult result;
+    result.stats.converged = true;
+    result.threads_used = resolve_threads(options.threads);
+    return result;
+  }
+  const auto setup_start = util::SteadyClock::now();
+  auto prepared = prepare_bsp_par(g, options);
+  const auto setup_stop = util::SteadyClock::now();
+  auto result = run_bsp_par_prepared(g, prepared, options, observer);
+  result.setup_ms += util::ms_between(setup_start, setup_stop);
+  return result;
+}
+
+BspParResult run_bsp_par_prepared(const graph::Graph& g,
+                                  BspParPrepared& prepared,
+                                  const core::RunOptions& options,
+                                  const core::ProgressObserver& observer) {
+  BspParResult result;
+  const graph::NodeId n = g.num_nodes();
+  KCORE_CHECK_MSG(prepared.owner.size() == n,
+                  "prepared state does not match this graph");
+  const unsigned workers = prepared.workers;
+  result.threads_used = workers;
+  const auto setup_start = util::SteadyClock::now();
+
+  const auto& owner = prepared.owner;
+  const auto& owned = prepared.owned;
+
+  // Reset the prepared tables to the run's initial state: estimates at
+  // the degrees (Algorithm 1's starting estimate), every vertex dirty.
+  std::vector<std::atomic<graph::NodeId>>& est_a = prepared.est_a;
+  std::vector<std::atomic<graph::NodeId>>& est_b = prepared.est_b;
   for (graph::NodeId u = 0; u < n; ++u) {
     est_a[u].store(g.degree(u), std::memory_order_relaxed);
   }
   auto* est_prev = &est_a;
   auto* est_next = &est_b;
 
-  // Dirty flags, also double-buffered: cur is consumed by owners this
-  // superstep, next accumulates activations for the following one.
-  std::vector<std::atomic<std::uint8_t>> act_a(n), act_b(n);
+  // Dirty flags: cur is consumed by owners this superstep, next
+  // accumulates activations for the following one.
+  std::vector<std::atomic<std::uint8_t>>& act_a = prepared.act_a;
+  std::vector<std::atomic<std::uint8_t>>& act_b = prepared.act_b;
   for (graph::NodeId u = 0; u < n; ++u) {
     act_a[u].store(1, std::memory_order_relaxed);
+    act_b[u].store(0, std::memory_order_relaxed);
   }
   auto* act_cur = &act_a;
   auto* act_next = &act_b;
@@ -168,15 +205,12 @@ BspParResult run_bsp_par(const graph::Graph& g,
     return round < limit;
   };
 
-  const auto run_start = std::chrono::steady_clock::now();
+  const auto run_start = util::SteadyClock::now();
   run_round_loop(workers, body, completion);
-  const auto run_stop = std::chrono::steady_clock::now();
-  result.setup_ms = std::chrono::duration<double, std::milli>(
-                        run_start - setup_start)
-                        .count();
+  const auto run_stop = util::SteadyClock::now();
+  result.setup_ms = util::ms_between(setup_start, run_start);
   result.run_ms =
-      std::chrono::duration<double, std::milli>(run_stop - run_start)
-          .count();
+      util::ms_between(run_start, run_stop);
 
   // After the final swap the freshest epoch is est_prev.
   result.coreness.resize(n);

@@ -1,46 +1,61 @@
 #include "par/runtime.h"
 
-#include <chrono>
 #include <utility>
 
 #include "core/assignment.h"
 #include "par/engine.h"
 #include "util/check.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace kcore::par {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double ms_between(Clock::time_point start, Clock::time_point stop) {
-  return std::chrono::duration<double, std::milli>(stop - start).count();
-}
+using Clock = util::SteadyClock;
+using util::ms_between;
 
 }  // namespace
+
+OneToManyParPrepared prepare_one_to_many_par(const graph::Graph& g,
+                                             const core::RunOptions& options) {
+  KCORE_CHECK_MSG(g.num_nodes() > 0, "graph must be non-empty");
+  KCORE_CHECK_MSG(options.num_hosts >= 1, "need at least one host");
+  OneToManyParPrepared prepared;
+  // Same assignment call and host construction as the simulator runner
+  // (core/one_to_many.cpp) — this is what makes the par run's traffic
+  // bit-identical to sim::Engine in synchronous mode.
+  prepared.owner = core::assign_nodes(g.num_nodes(), options.num_hosts,
+                                      options.assignment, options.seed);
+  prepared.hosts = core::make_one_to_many_hosts(
+      g, prepared.owner, options.num_hosts, options.comm);
+  return prepared;
+}
 
 OneToManyParResult run_one_to_many_par(const graph::Graph& g,
                                        const core::RunOptions& options,
                                        const core::ProgressObserver& observer) {
-  OneToManyParResult result;
   if (g.num_nodes() == 0) {
     // The facade rejects empty graphs, but direct callers (and the
     // edge-case tests) get the sensible answer instead of a crash.
+    OneToManyParResult result;
     result.traffic.converged = true;
     result.threads_used = resolve_threads(options.threads);
     return result;
   }
-  KCORE_CHECK_MSG(options.num_hosts >= 1, "need at least one host");
-
   const auto setup_start = Clock::now();
-  // Same assignment call and host construction as the simulator runner
-  // (core/one_to_many.cpp) — this is what makes the par run's traffic
-  // bit-identical to sim::Engine in synchronous mode.
-  const auto owner = core::assign_nodes(g.num_nodes(), options.num_hosts,
-                                        options.assignment, options.seed);
-  auto hosts =
-      core::make_one_to_many_hosts(g, owner, options.num_hosts, options.comm);
+  const auto prepared = prepare_one_to_many_par(g, options);
+  const auto setup_stop = Clock::now();
+  auto result = run_one_to_many_par_prepared(g, prepared, options, observer);
+  result.setup_ms += ms_between(setup_start, setup_stop);
+  return result;
+}
+
+OneToManyParResult run_one_to_many_par_prepared(
+    const graph::Graph& g, const OneToManyParPrepared& prepared,
+    const core::RunOptions& options, const core::ProgressObserver& observer) {
+  OneToManyParResult result;
+  const auto setup_start = Clock::now();
 
   EngineConfig engine_config;
   engine_config.threads = options.threads;
@@ -49,7 +64,9 @@ OneToManyParResult run_one_to_many_par(const graph::Graph& g,
           ? options.max_rounds
           : static_cast<std::uint64_t>(g.num_nodes()) * 2 + 64;
 
-  Engine<core::OneToManyHost> engine(std::move(hosts), engine_config);
+  // Copy the pristine hosts: each run starts from the exact post-prepare
+  // protocol state, so repeated runs are bit-identical.
+  Engine<core::OneToManyHost> engine(prepared.hosts, engine_config);
 
   std::vector<graph::NodeId> snapshot(g.num_nodes(), 0);
   auto engine_observer = [&](std::uint64_t round,

@@ -1,0 +1,18 @@
+// Shared wall-clock helpers for phase timing. One definition keeps the
+// Session-vs-runner timing invariant (api.h: elapsed_ms == setup + run)
+// comparing durations from a single clock convention.
+#pragma once
+
+#include <chrono>
+
+namespace kcore::util {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Milliseconds between two steady_clock points, as a double.
+[[nodiscard]] inline double ms_between(SteadyClock::time_point start,
+                                       SteadyClock::time_point stop) {
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace kcore::util

@@ -4,6 +4,22 @@
 
 namespace kcore::util {
 
+SampleSummary SampleSummary::of(std::span<const double> values) {
+  SampleSummary summary;
+  summary.count = values.size();
+  if (values.empty()) return summary;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  summary.min = sorted.front();
+  summary.max = sorted.back();
+  // Nearest-rank median, matching Sample::percentile(50).
+  summary.median = sorted[(sorted.size() + 1) / 2 - 1];
+  double sum = 0.0;
+  for (const double v : sorted) sum += v;
+  summary.mean = sum / static_cast<double>(sorted.size());
+  return summary;
+}
+
 std::size_t Histogram::quantile(double q) const {
   KCORE_CHECK_MSG(q > 0.0 && q <= 1.0, "q=" << q);
   KCORE_CHECK(total_ > 0);

@@ -5,11 +5,26 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "util/check.h"
 
 namespace kcore::util {
+
+/// min / median / max / mean over a small batch of observations — the
+/// shared aggregation behind `kcore decompose --repeat`, `kcore sweep`
+/// and api::Plan cells. Medians use nearest-rank on a sorted copy; an
+/// empty batch yields count == 0 and NaN summaries.
+struct SampleSummary {
+  std::size_t count = 0;
+  double min = std::numeric_limits<double>::quiet_NaN();
+  double median = std::numeric_limits<double>::quiet_NaN();
+  double max = std::numeric_limits<double>::quiet_NaN();
+  double mean = std::numeric_limits<double>::quiet_NaN();
+
+  [[nodiscard]] static SampleSummary of(std::span<const double> values);
+};
 
 /// Welford-style single-pass accumulator: count, mean, variance, min, max.
 /// Numerically stable; O(1) per observation.

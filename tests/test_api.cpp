@@ -203,29 +203,158 @@ TEST(ApiRegistry, UnknownProtocolErrorListsRegisteredKeys) {
 
 TEST(ApiRegistry, DuplicateRegistrationThrows) {
   EXPECT_THROW(api::ProtocolRegistry::instance().add(
-                   {"bz", "x", "duplicate", [](const api::DecomposeRequest&,
-                                               const api::ProgressObserver&) {
+                   {"bz", "x", "duplicate", api::Capabilities{},
+                    [](const api::DecomposeRequest&,
+                       const api::ProgressObserver&) {
                       return api::DecomposeReport{};
-                    }}),
+                    },
+                    nullptr}),
+               util::CheckError);
+}
+
+TEST(ApiRegistry, RegistrationNeedsRunnerOrPreparer) {
+  EXPECT_THROW(api::ProtocolRegistry::instance().add(
+                   {"test-inert", "n/a", "neither runner nor preparer",
+                    api::Capabilities{}, nullptr, nullptr}),
                util::CheckError);
 }
 
 TEST(ApiRegistry, CustomProtocolIsDispatchable) {
   auto& registry = api::ProtocolRegistry::instance();
   if (!registry.contains("test-constant")) {
+    // Runner-only registration: no preparer, default (consume-nothing)
+    // capabilities — the facade must still dispatch it, via the Session
+    // fallback that re-runs the runner each time.
     registry.add({"test-constant", "n/a", "returns all-zero coreness",
+                  api::Capabilities{},
                   [](const api::DecomposeRequest& request,
                      const api::ProgressObserver&) {
                     api::DecomposeReport report;
                     report.coreness.assign(request.graph->num_nodes(), 0);
                     report.traffic.converged = true;
                     return report;
-                  }});
+                  },
+                  nullptr});
   }
   const Graph g = gen::clique(5);
   const auto report = api::decompose(g, "test-constant");
   EXPECT_EQ(report.protocol, "test-constant");
   EXPECT_EQ(report.coreness, std::vector<NodeId>(5, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Capability descriptors
+// ---------------------------------------------------------------------------
+
+TEST(ApiCapabilities, ExecutionKindRoundTrips) {
+  for (const auto kind :
+       {api::ExecutionKind::kSequential, api::ExecutionKind::kSimulated,
+        api::ExecutionKind::kThreadedRounds, api::ExecutionKind::kAsync}) {
+    const auto parsed = api::parse_execution_kind(api::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << api::to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(api::parse_execution_kind("quantum").has_value());
+  EXPECT_STREQ(api::to_string(api::ObserverGranularity::kNone), "none");
+  EXPECT_STREQ(api::to_string(api::ObserverGranularity::kPerRound),
+               "per-round");
+}
+
+TEST(ApiCapabilities, ConsumedKnobNamesAreStableAndOrdered) {
+  api::Capabilities caps;
+  EXPECT_TRUE(api::consumed_knobs(caps).empty());
+  caps.consumes_fault_plan = true;
+  caps.consumes_threads = true;
+  caps.consumes_delivery_mode = true;
+  const std::vector<std::string_view> expected{"mode", "faults", "threads"};
+  EXPECT_EQ(api::consumed_knobs(caps), expected);
+}
+
+TEST(ApiCapabilities, BuiltinDescriptorsAreTruthful) {
+  const auto& registry = api::ProtocolRegistry::instance();
+  const auto caps = [&](std::string_view name) -> const api::Capabilities& {
+    return registry.entry(name).capabilities;
+  };
+  // The eight built-ins by key, not entries(): other tests register
+  // custom protocols with arbitrary descriptors in this process.
+  const std::vector<std::string_view> builtins{
+      api::kProtocolBz,        api::kProtocolPeeling,
+      api::kProtocolOneToOne,  api::kProtocolOneToMany,
+      api::kProtocolBsp,       api::kProtocolOneToManyPar,
+      api::kProtocolBspPar,    api::kProtocolBspAsync};
+  // Sequential baselines: consume nothing, stream nothing.
+  for (const auto key : {api::kProtocolBz, api::kProtocolPeeling}) {
+    EXPECT_EQ(caps(key).execution, api::ExecutionKind::kSequential) << key;
+    EXPECT_TRUE(api::consumed_knobs(caps(key)).empty()) << key;
+    EXPECT_EQ(caps(key).observer, api::ObserverGranularity::kNone) << key;
+    EXPECT_TRUE(caps(key).deterministic_extras) << key;
+  }
+  // The channel protocols are the only fault-plan consumers.
+  for (const auto key : builtins) {
+    const bool is_channel = key == api::kProtocolOneToOne ||
+                            key == api::kProtocolOneToMany;
+    EXPECT_EQ(caps(key).consumes_fault_plan, is_channel) << key;
+  }
+  // §3.2.1 comm policy: exactly the one-to-many family.
+  for (const auto key : builtins) {
+    const bool flushes_hosts = key == api::kProtocolOneToMany ||
+                               key == api::kProtocolOneToManyPar;
+    EXPECT_EQ(caps(key).consumes_comm_policy, flushes_hosts) << key;
+  }
+  // Real-thread family: consumes threads, executes on real workers.
+  for (const auto key : {api::kProtocolOneToManyPar, api::kProtocolBspPar}) {
+    EXPECT_EQ(caps(key).execution, api::ExecutionKind::kThreadedRounds)
+        << key;
+    EXPECT_TRUE(caps(key).consumes_threads) << key;
+    EXPECT_TRUE(caps(key).deterministic_extras) << key;
+  }
+  // The async runtime: round-free (no observer stream) and the only
+  // built-in with a schedule-dependent profile.
+  EXPECT_EQ(caps(api::kProtocolBspAsync).execution,
+            api::ExecutionKind::kAsync);
+  EXPECT_EQ(caps(api::kProtocolBspAsync).observer,
+            api::ObserverGranularity::kNone);
+  EXPECT_FALSE(caps(api::kProtocolBspAsync).deterministic_extras);
+  for (const auto key : builtins) {
+    if (key != api::kProtocolBspAsync) {
+      EXPECT_TRUE(caps(key).deterministic_extras) << key;
+    }
+  }
+  // Every simulated / threaded-rounds runtime streams per-round events.
+  for (const auto key :
+       {api::kProtocolOneToOne, api::kProtocolOneToMany, api::kProtocolBsp,
+        api::kProtocolOneToManyPar, api::kProtocolBspPar}) {
+    EXPECT_EQ(caps(key).observer, api::ObserverGranularity::kPerRound)
+        << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report timing invariant
+// ---------------------------------------------------------------------------
+
+TEST(ApiReport, ElapsedEqualsSetupPlusRunWherePhaseTimingsExist) {
+  // The satellite fix for the old double-counting ambiguity: where the
+  // extras carry phase timings, elapsed_ms is EXACTLY their sum (the
+  // phases partition the elapsed time), for one-shot and warm runs alike.
+  const Graph g = gen::barabasi_albert(300, 3, 9);
+  api::RunOptions options;
+  options.threads = 2;
+  options.num_hosts = 4;
+  for (const auto protocol :
+       {api::kProtocolOneToManyPar, api::kProtocolBspPar,
+        api::kProtocolBspAsync}) {
+    const auto report = api::decompose(g, protocol, options);
+    if (const auto* par = std::get_if<api::ParExtras>(&report.extras)) {
+      EXPECT_EQ(report.elapsed_ms, par->setup_ms + par->run_ms) << protocol;
+      EXPECT_GT(par->setup_ms, 0.0) << protocol;
+    } else {
+      const auto& async = std::get<api::AsyncExtras>(report.extras);
+      EXPECT_EQ(report.elapsed_ms, async.setup_ms + async.run_ms)
+          << protocol;
+      EXPECT_GT(async.setup_ms, 0.0) << protocol;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +482,100 @@ TEST(ApiValidate, AsyncFaultAndCommProblemsAccumulate) {
   ASSERT_EQ(problems.size(), 2U);
   EXPECT_NE(problems[0].find("channel-fault"), std::string::npos);
   EXPECT_NE(problems[1].find("broadcast"), std::string::npos);
+}
+
+TEST(ApiValidate, ThreadsRejectedForPoollessRuntimes) {
+  // --threads on a runtime with no worker pool would silently report
+  // single-threaded results as if a pool had run; the capability pass
+  // turns that into an actionable error naming the consumers.
+  const Graph g = gen::clique(4);
+  api::DecomposeRequest request;
+  request.graph = &g;
+  request.options.threads = 4;
+  for (const auto protocol :
+       {api::kProtocolBz, api::kProtocolPeeling, api::kProtocolOneToOne,
+        api::kProtocolOneToMany, api::kProtocolBsp}) {
+    request.protocol = std::string(protocol);
+    const auto problems = api::validate(request);
+    ASSERT_EQ(problems.size(), 1U) << protocol;
+    EXPECT_NE(problems[0].find("--threads"), std::string::npos) << protocol;
+    EXPECT_NE(problems[0].find("bsp-par"), std::string::npos) << protocol;
+  }
+  for (const auto protocol :
+       {api::kProtocolOneToManyPar, api::kProtocolBspPar,
+        api::kProtocolBspAsync}) {
+    request.protocol = std::string(protocol);
+    EXPECT_TRUE(api::validate(request).empty()) << protocol;
+  }
+}
+
+TEST(ApiValidate, DeliveryModeRejectedForScheduleFreeRuntimes) {
+  // --mode shapes the round simulator's delivery schedule; aimed at a
+  // runtime with no such schedule it would silently report results as if
+  // synchronous delivery had been simulated.
+  const Graph g = gen::clique(4);
+  api::DecomposeRequest request;
+  request.graph = &g;
+  request.options.mode = sim::DeliveryMode::kSynchronous;
+  for (const auto protocol :
+       {api::kProtocolBz, api::kProtocolPeeling, api::kProtocolBsp,
+        api::kProtocolBspPar, api::kProtocolBspAsync}) {
+    request.protocol = std::string(protocol);
+    if (protocol == api::kProtocolBspPar ||
+        protocol == api::kProtocolBspAsync) {
+      request.options.threads = 2;  // keep the cell otherwise valid
+    } else {
+      request.options.threads = 0;
+    }
+    const auto problems = api::validate(request);
+    ASSERT_EQ(problems.size(), 1U) << protocol;
+    EXPECT_NE(problems[0].find("--mode"), std::string::npos) << protocol;
+    EXPECT_NE(problems[0].find("one-to-one"), std::string::npos) << protocol;
+  }
+  // The simulated channel protocols keep accepting it.
+  request.options.threads = 0;
+  for (const auto protocol :
+       {api::kProtocolOneToOne, api::kProtocolOneToMany}) {
+    request.protocol = std::string(protocol);
+    EXPECT_TRUE(api::validate(request).empty()) << protocol;
+  }
+}
+
+TEST(ApiValidate, CustomProtocolRulesDeriveFromItsCapabilities) {
+  // validate() has never heard of this protocol by name — every rule it
+  // applies must come from the registered descriptor. A consume-nothing
+  // descriptor rejects all three exclusive knobs at once; a descriptor
+  // that claims them accepts the same request.
+  auto& registry = api::ProtocolRegistry::instance();
+  const auto noop_runner = [](const api::DecomposeRequest& request,
+                              const api::ProgressObserver&) {
+    api::DecomposeReport report;
+    report.coreness.assign(request.graph->num_nodes(), 0);
+    report.traffic.converged = true;
+    return report;
+  };
+  if (!registry.contains("test-consumes-nothing")) {
+    registry.add({"test-consumes-nothing", "n/a", "capability negative",
+                  api::Capabilities{}, noop_runner, nullptr});
+  }
+  if (!registry.contains("test-consumes-all")) {
+    api::Capabilities caps;
+    caps.consumes_fault_plan = true;
+    caps.consumes_comm_policy = true;
+    caps.consumes_threads = true;
+    registry.add({"test-consumes-all", "n/a", "capability positive", caps,
+                  noop_runner, nullptr});
+  }
+  const Graph g = gen::clique(4);
+  api::DecomposeRequest request;
+  request.graph = &g;
+  request.options.faults.max_extra_delay = 1;
+  request.options.comm = api::CommPolicy::kBroadcast;
+  request.options.threads = 2;
+  request.protocol = "test-consumes-nothing";
+  EXPECT_EQ(api::validate(request).size(), 3U);
+  request.protocol = "test-consumes-all";
+  EXPECT_TRUE(api::validate(request).empty());
 }
 
 TEST(ApiValidate, DecomposeThrowsOnUnknownProtocol) {

@@ -5,20 +5,28 @@
 //
 // Subcommands:
 //   decompose  --input FILE [--algo <registry key>] [run options]
-//              [--output FILE] [--summary] [--progress N]
+//              [--output FILE] [--summary] [--progress N] [--repeat N]
+//   sweep      --input FILE [--algos a,b,..] [--thread-counts 1,2,..]
+//              [--seeds 1,2,..] [--repeat N] [run options]
 //   generate   --family NAME [--n N] [--seed S] [--output FILE] [...]
 //   stats      --input FILE
 //   dot        --input FILE [--output FILE] [--max-nodes N]
 //   profiles   (list the built-in paper dataset profiles)
-//   protocols  (list the protocol registry)
+//   protocols  (the protocol registry with capability descriptors)
+//
+// decompose --repeat N holds one api::Session: prepare once, run N times,
+// and report min/median/max wall-ms (single-shot timing is noise). sweep
+// executes a declarative api::Plan over protocols × threads × seeds.
 //
 // Examples:
 //   kcore generate --family ba --n 10000 --m 3 --output ba.txt
 //   kcore decompose --input ba.txt --algo one-to-many --hosts 16 --summary
 //   kcore decompose --input ba.txt --algo one-to-many-par --threads 4 \
-//         --hosts 16                  # real threads, not simulated rounds
+//         --hosts 16 --repeat 5       # real threads, amortized via Session
 //   kcore decompose --input ba.txt --algo one-to-one --mode sync \
 //         --max-extra-delay 2 --dup-prob 0.2
+//   kcore sweep --input ba.txt --algos bz,bsp-par,bsp-async \
+//         --thread-counts 1,2,4 --repeat 3
 //   kcore dot --input ba.txt --output ba.dot
 #include <algorithm>
 #include <fstream>
@@ -28,6 +36,7 @@
 
 #include "api/api.h"
 #include "api/cli_options.h"
+#include "api/session.h"
 #include "eval/datasets.h"
 #include "graph/dot_export.h"
 #include "graph/edge_list.h"
@@ -36,6 +45,7 @@
 #include "graph/stats.h"
 #include "seq/kcore_seq.h"
 #include "util/args.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace {
@@ -52,6 +62,11 @@ int usage() {
             << "  decompose --input FILE [--algo " << algos << "]\n"
             << "            [run options] [--output FILE] [--summary] "
                "[--progress N]\n"
+            << "            [--repeat N]   (prepare once, run N times, "
+               "min/median/max wall-ms)\n"
+            << "  sweep     --input FILE [--algos a,b,..] "
+               "[--thread-counts 1,2,..]\n"
+            << "            [--seeds 1,2,..] [--repeat N] [run options]\n"
             << "  generate  --family "
                "chain|cycle|clique|star|grid|er|ba|ws|rmat|regular|worst\n"
             << "            [--n N] [--m M] [--k K] [--beta B] [--seed S] "
@@ -125,14 +140,18 @@ int cmd_decompose(const util::Args& args) {
   }
   const auto options = api::run_options_from_args(args);
 
-  // --progress N streams one estimate-span summary every N rounds.
+  // --progress N streams one estimate-span summary every N rounds. The
+  // capability descriptor says whether the protocol streams at all.
+  const auto& capabilities =
+      api::ProtocolRegistry::instance().entry(algo).capabilities;
   const auto progress_every = args.get_int("progress", 0);
   api::ProgressObserver observer;
-  if (progress_every > 0 && algo == api::kProtocolBspAsync) {
-    // Per-round observers have nothing to hook into a round-free runtime;
-    // say so up front instead of looking like a hung run.
-    std::cerr << "note: --progress is ignored for bsp-async (chaotic "
-                 "relaxation has no rounds to report)\n";
+  if (progress_every > 0 &&
+      capabilities.observer == api::ObserverGranularity::kNone) {
+    // Per-round observers have nothing to hook into this runtime; say so
+    // up front instead of looking like a hung run.
+    std::cerr << "note: --progress is ignored for " << algo
+              << " (no per-round progress stream)\n";
   } else if (progress_every > 0) {
     observer = [&](const api::ProgressEvent& event) {
       if (event.round % static_cast<std::uint64_t>(progress_every) != 0) {
@@ -149,9 +168,21 @@ int cmd_decompose(const util::Args& args) {
     };
   }
 
-  auto report = api::decompose(g, algo, options, observer);
-  KCORE_CHECK_MSG(report.traffic.converged,
-                  "protocol did not converge within the round cap");
+  // One Session serves every repeat: the assignment/host/table derivation
+  // happens once, each run() replays from it (warm-run reports are
+  // bit-identical to one-shot decompose).
+  const auto repeat = static_cast<int>(args.get_int("repeat", 1));
+  KCORE_CHECK_MSG(repeat >= 1, "--repeat must be >= 1, got " << repeat);
+  api::Session session(g, algo, options);
+  std::vector<double> wall_ms;
+  wall_ms.reserve(static_cast<std::size_t>(repeat));
+  api::DecomposeReport report;
+  for (int run = 0; run < repeat; ++run) {
+    report = session.run(observer);
+    KCORE_CHECK_MSG(report.traffic.converged,
+                    "protocol did not converge within the round cap");
+    wall_ms.push_back(report.elapsed_ms);
+  }
   const std::string detail = detail_of(report);
   const auto coreness = std::move(report.coreness);
 
@@ -170,6 +201,17 @@ int cmd_decompose(const util::Args& args) {
             << " kavg=" << util::fmt_double(summary.k_avg);
   if (!detail.empty()) std::cout << ' ' << detail;
   std::cout << " time=" << util::fmt_double(report.elapsed_ms, 1) << "ms\n";
+  if (repeat > 1) {
+    // Shared aggregation with api::Plan — single-shot timing is noise.
+    const auto summary_ms = util::SampleSummary::of(wall_ms);
+    std::cout << "repeat=" << repeat << " wall-ms min/median/max="
+              << util::fmt_double(summary_ms.min, 2) << "/"
+              << util::fmt_double(summary_ms.median, 2) << "/"
+              << util::fmt_double(summary_ms.max, 2)
+              << " first=" << util::fmt_double(wall_ms.front(), 2)
+              << " (prepare=" << util::fmt_double(session.prepare_ms(), 2)
+              << "ms amortized after run 1)\n";
+  }
   if (args.has("summary")) {
     util::TableWriter table({"shell", "nodes"});
     for (std::size_t k = 0; k < summary.shell_sizes.size(); ++k) {
@@ -299,12 +341,109 @@ int cmd_profiles() {
   return 0;
 }
 
+/// "mode,faults,comm" — the capability descriptor's consumed knobs as
+/// one compact cell.
+std::string knobs_cell(const api::Capabilities& capabilities) {
+  std::string joined;
+  for (const auto knob : api::consumed_knobs(capabilities)) {
+    if (!joined.empty()) joined += ",";
+    joined += knob;
+  }
+  return joined.empty() ? "-" : joined;
+}
+
 int cmd_protocols() {
-  util::TableWriter table({"key", "paper", "description"});
+  // Rendered straight from the registry's capability descriptors — the
+  // same data that drives validate() and the README table.
+  util::TableWriter table({"key", "paper", "execution", "consumes",
+                           "progress", "extras", "description"});
   for (const auto& entry : api::ProtocolRegistry::instance().entries()) {
-    table.add_row({entry.name, entry.paper_section, entry.summary});
+    const auto& caps = entry.capabilities;
+    table.add_row({entry.name, entry.paper_section,
+                   api::to_string(caps.execution), knobs_cell(caps),
+                   api::to_string(caps.observer),
+                   caps.deterministic_extras ? "deterministic"
+                                             : "schedule-dep",
+                   entry.summary});
   }
   table.print(std::cout);
+  return 0;
+}
+
+/// Parse "1,2,4"-style comma lists for the sweep axes.
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const auto comma = value.find(',', start);
+    const auto end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) items.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+int cmd_sweep(const util::Args& args) {
+  const graph::Graph g = load(args);
+  api::PlanSpec spec;
+  spec.base = api::run_options_from_args(args);
+  spec.repeats = static_cast<int>(args.get_int("repeat", 3));
+
+  if (const auto algos = args.get("algos")) {
+    spec.protocols = split_csv(*algos);
+  } else {
+    spec.protocols = api::ProtocolRegistry::instance().names();
+  }
+  if (const auto threads = args.get("thread-counts")) {
+    for (const auto& item : split_csv(*threads)) {
+      spec.threads.push_back(
+          static_cast<unsigned>(std::stoul(item)));
+    }
+  }
+  if (const auto seeds = args.get("seeds")) {
+    for (const auto& item : split_csv(*seeds)) {
+      spec.seeds.push_back(std::stoull(item));
+    }
+  }
+
+  api::Plan plan(g, spec);
+  const auto problems = plan.validate();
+  if (!problems.empty()) {
+    std::cerr << "invalid sweep:\n";
+    for (const auto& problem : problems) std::cerr << "  " << problem << "\n";
+    return 2;
+  }
+
+  util::TableWriter table({"algo", "threads", "seed", "reps", "prepare ms",
+                           "first ms", "warm med", "min", "med", "max",
+                           "rounds", "messages"});
+  const auto results = plan.run();
+  const auto& registry = api::ProtocolRegistry::instance();
+  for (const auto& cell : results) {
+    const bool has_warm = cell.warm_wall_ms.count > 0;
+    // "-" where the Plan collapsed the threads axis (protocol has no
+    // worker pool); "0" would read as "one worker per hardware thread".
+    const bool threaded = registry.contains(cell.cell.protocol) &&
+                          registry.entry(cell.cell.protocol)
+                              .capabilities.consumes_threads;
+    table.add_row(
+        {cell.cell.protocol,
+         threaded ? std::to_string(cell.cell.threads) : "-",
+         std::to_string(cell.cell.seed), std::to_string(cell.repeats),
+         util::fmt_double(cell.prepare_ms, 2),
+         util::fmt_double(cell.first_wall_ms, 2),
+         has_warm ? util::fmt_double(cell.warm_wall_ms.median, 2) : "-",
+         util::fmt_double(cell.wall_ms.min, 2),
+         util::fmt_double(cell.wall_ms.median, 2),
+         util::fmt_double(cell.wall_ms.max, 2),
+         std::to_string(cell.last.traffic.rounds_executed),
+         util::fmt_grouped(cell.last.traffic.total_messages)});
+  }
+  table.print(std::cout);
+  std::cout << results.size() << " cells x " << spec.repeats
+            << " repeats (each cell prepared once; 'first ms' pays the "
+               "prepare, 'warm med' is the amortized cost)\n";
   return 0;
 }
 
@@ -318,6 +457,8 @@ int main(int argc, char** argv) {
     int rc = 2;
     if (cmd == "decompose") {
       rc = cmd_decompose(args);
+    } else if (cmd == "sweep") {
+      rc = cmd_sweep(args);
     } else if (cmd == "generate") {
       rc = cmd_generate(args);
     } else if (cmd == "stats") {
