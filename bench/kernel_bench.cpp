@@ -1,0 +1,355 @@
+// Kernel microbench for the hot-path pass of the async runtime:
+//
+//  1. compute_index, legacy vector-scratch (O(k) counts.assign + suffix
+//     sum + scan: three sweeps per call) vs the epoch-stamped
+//     IndexScratch (lazy slot validation + one early-exit downward walk).
+//     Measured on high-degree inputs across estimate shapes; the two
+//     kernels are asserted bit-identical on every input.
+//
+//  2. Neighbor-estimate gather: copy-into-buffer + legacy kernel (what
+//     the relaxation loops used to do) vs the allocation-free streaming
+//     read straight from a shared atomic table.
+//
+//  3. Heap allocations in the async relaxation loop, counted by a global
+//     operator new/delete override: after one warm-up run the prepared
+//     engine's worklist/scratch/table are all reused in place, so the
+//     steady-state loop must allocate NOTHING. Also reported: the
+//     allocation count of a full warm run_bsp_async_prepared call (a
+//     small constant — the returned coreness vector), and of the legacy
+//     path equivalent (a cold prepare + run, for contrast).
+//
+// Emits BENCH_kernel.json (override with KCORE_KERNEL_JSON); honors
+// KCORE_QUICK for CI smoke runs.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compute_index.h"
+#include "graph/generators.h"
+#include "par/async_engine.h"
+#include "util/check.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "util/table.h"
+
+// --- global allocation counter ---------------------------------------------
+// Counts every non-overaligned heap allocation in the process (the hot
+// structures the loop could touch — deque rings, scratch vectors, gather
+// buffers — are all normally aligned). Over-aligned types (the
+// cache-line-padded lanes) only allocate at construction time, outside
+// the measured windows.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace kcore;
+using graph::NodeId;
+using Clock = util::SteadyClock;
+
+struct Record {
+  std::string section;
+  std::string input;
+  double legacy = 0.0;  // ns/call or ms/pass or alloc count
+  double epoch = 0.0;
+  std::string unit;
+};
+
+std::string json_of(const std::vector<Record>& records) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"kernel_bench\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    const double speedup = r.epoch > 0.0 ? r.legacy / r.epoch : 0.0;
+    out << "    {\"section\": \"" << r.section << "\", \"input\": \""
+        << r.input << "\", \"legacy\": " << util::fmt_double(r.legacy, 3)
+        << ", \"epoch_stamped\": " << util::fmt_double(r.epoch, 3)
+        << ", \"unit\": \"" << r.unit
+        << "\", \"speedup\": " << util::fmt_double(speedup, 3) << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+/// Best-of-3 timing of `fn()` repeated `reps` times; returns ns per call.
+template <typename Fn>
+double time_ns_per_call(std::uint64_t reps, Fn&& fn) {
+  double best_ms = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < reps; ++i) fn();
+    const double ms = util::ms_between(start, Clock::now());
+    if (attempt == 0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms * 1e6 / static_cast<double>(reps);
+}
+
+// --- part 1: compute_index kernels ------------------------------------------
+
+std::vector<NodeId> estimates_of_shape(const std::string& shape, NodeId deg,
+                                       NodeId k, std::uint64_t seed) {
+  std::vector<NodeId> estimates(deg);
+  std::mt19937_64 rng(seed);
+  for (NodeId i = 0; i < deg; ++i) {
+    if (shape == "converged") {
+      // Fixed point: every neighbor at or above k — the steady-state
+      // input once the run has settled.
+      estimates[i] = k + static_cast<NodeId>(rng() % 5);
+    } else if (shape == "mixed") {
+      estimates[i] = 1 + static_cast<NodeId>(rng() % k);
+    } else {  // "collapsed": hub over leaves, answer near 1
+      estimates[i] = 1 + static_cast<NodeId>(rng() % 3);
+    }
+  }
+  return estimates;
+}
+
+void bench_compute_index(bool quick, std::vector<Record>& records,
+                         util::TableWriter& table) {
+  std::vector<NodeId> degrees{1024, 16384, 131072};
+  if (quick) degrees = {1024, 16384};
+  for (const NodeId deg : degrees) {
+    for (const char* shape : {"converged", "mixed", "collapsed"}) {
+      const NodeId k = deg;  // hub: own estimate == degree
+      const auto estimates = estimates_of_shape(shape, deg, k, 7 + deg);
+      std::vector<NodeId> legacy_scratch;
+      core::IndexScratch epoch_scratch;
+      const NodeId expected =
+          core::compute_index(estimates, k, legacy_scratch);
+      KCORE_CHECK_MSG(epoch_scratch.compute_index(estimates, k) == expected,
+                      "kernel mismatch on " << shape << " deg=" << deg);
+
+      const std::uint64_t reps = std::max<std::uint64_t>(
+          4, (quick ? 2'000'000ULL : 20'000'000ULL) / deg);
+      volatile NodeId sink = 0;
+      const double legacy_ns = time_ns_per_call(reps, [&] {
+        sink = core::compute_index(estimates, k, legacy_scratch);
+      });
+      const double epoch_ns = time_ns_per_call(reps, [&] {
+        sink = epoch_scratch.compute_index(estimates, k);
+      });
+      (void)sink;
+      const std::string input = "deg=" + std::to_string(deg) +
+                                " shape=" + shape;
+      records.push_back({"compute_index", input, legacy_ns, epoch_ns,
+                         "ns/call"});
+      table.add_row({"compute_index", input,
+                     util::fmt_double(legacy_ns, 1),
+                     util::fmt_double(epoch_ns, 1),
+                     util::fmt_double(legacy_ns / epoch_ns, 2)});
+    }
+  }
+}
+
+// --- part 2: gather vs stream -----------------------------------------------
+
+void bench_gather(bool quick, std::vector<Record>& records,
+                  util::TableWriter& table) {
+  const NodeId n = quick ? 20000 : 100000;
+  const graph::Graph g = graph::gen::barabasi_albert(n, 4, 99);
+  std::vector<std::atomic<NodeId>> est(n);
+  for (NodeId u = 0; u < n; ++u) {
+    est[u].store(g.degree(u), std::memory_order_relaxed);
+  }
+
+  std::vector<NodeId> gather;
+  std::vector<NodeId> legacy_scratch;
+  core::IndexScratch epoch_scratch;
+  volatile NodeId sink = 0;
+
+  auto gather_pass = [&] {
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId k = est[u].load(std::memory_order_acquire);
+      if (k == 0) continue;
+      gather.clear();
+      for (const NodeId v : g.neighbors(u)) {
+        gather.push_back(est[v].load(std::memory_order_acquire));
+      }
+      sink = core::compute_index(gather, k, legacy_scratch);
+    }
+  };
+  auto stream_pass = [&] {
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId k = est[u].load(std::memory_order_acquire);
+      if (k == 0) continue;
+      const auto nbrs = g.neighbors(u);
+      sink = epoch_scratch.compute_index_stream(
+          nbrs.size(), k, [&](std::size_t i) {
+            return est[nbrs[i]].load(std::memory_order_acquire);
+          });
+    }
+  };
+  (void)sink;
+
+  const std::uint64_t reps = quick ? 5 : 10;
+  const double gather_ms = time_ns_per_call(reps, gather_pass) / 1e6;
+  const double stream_ms = time_ns_per_call(reps, stream_pass) / 1e6;
+  const std::string input =
+      "ba n=" + std::to_string(n) + " full relaxation pass";
+  records.push_back({"gather", input, gather_ms, stream_ms, "ms/pass"});
+  table.add_row({"gather-vs-stream", input, util::fmt_double(gather_ms, 2),
+                 util::fmt_double(stream_ms, 2),
+                 util::fmt_double(gather_ms / stream_ms, 2)});
+}
+
+// --- part 3: allocations in the relaxation loop -----------------------------
+
+/// The engine's 1-thread relaxation loop, verbatim shape (lifo policy,
+/// targeted wakes), driven directly over the public AsyncWorklist + table
+/// API so the allocation window covers exactly the loop.
+std::uint64_t relaxation_loop(const graph::Graph& g,
+                              std::vector<std::atomic<NodeId>>& est,
+                              par::AsyncWorklist& worklist,
+                              core::IndexScratch& scratch) {
+  std::uint64_t relaxed = 0;
+  while (!worklist.done()) {
+    const std::uint32_t u = worklist.acquire(0);
+    if (u == par::AsyncWorklist::kNone) {
+      if (worklist.try_confirm()) break;
+      continue;
+    }
+    worklist.begin(u);
+    ++relaxed;
+    const NodeId k = est[u].load(std::memory_order_acquire);
+    const auto nbrs = g.neighbors(u);
+    bool fast_path = false;
+    const NodeId refined = scratch.refine(
+        nbrs.size(), k,
+        [&](std::size_t i) {
+          return est[nbrs[i]].load(std::memory_order_acquire);
+        },
+        fast_path);
+    if (refined < k) {
+      est[u].store(refined, std::memory_order_release);
+      for (const NodeId v : g.neighbors(u)) {
+        if (est[v].load(std::memory_order_acquire) <= refined) continue;
+        worklist.schedule(v, 0);
+      }
+    }
+    worklist.finish();
+  }
+  return relaxed;
+}
+
+void bench_allocations(bool quick, std::vector<Record>& records,
+                       util::TableWriter& table) {
+  const NodeId n = quick ? 20000 : 50000;
+  const graph::Graph g = graph::gen::barabasi_albert(n, 3, 5);
+  core::RunOptions options;
+  options.threads = 1;
+
+  // (a) The loop itself: warm-up run grows every ring/scratch to steady
+  // state; the measured second run must not allocate at all.
+  {
+    std::vector<std::atomic<NodeId>> est(n);
+    par::AsyncWorklist worklist(n, 1);
+    core::IndexScratch scratch;
+    for (int round = 0; round < 2; ++round) {
+      if (round > 0) worklist.reset();
+      for (NodeId u = 0; u < n; ++u) {
+        est[u].store(g.degree(u), std::memory_order_relaxed);
+      }
+      for (NodeId u = 0; u < n; ++u) worklist.seed(u, 0);
+      const std::uint64_t before =
+          g_allocations.load(std::memory_order_relaxed);
+      const std::uint64_t relaxed = relaxation_loop(g, est, worklist, scratch);
+      const std::uint64_t allocs =
+          g_allocations.load(std::memory_order_relaxed) - before;
+      KCORE_CHECK_MSG(relaxed >= n, "loop did not process every vertex");
+      if (round > 0) {
+        records.push_back({"allocations", "steady-state relaxation loop",
+                           static_cast<double>(allocs), 0.0, "allocs/run"});
+        table.add_row({"allocations", "steady-state relaxation loop",
+                       std::to_string(allocs), "-", "-"});
+      }
+    }
+  }
+
+  // (b) A full warm prepared engine run, for context: everything inside
+  // the engine is reused; the residue is the returned coreness vector
+  // and the result plumbing.
+  {
+    auto prepared = par::prepare_bsp_async(g, options);
+    (void)par::run_bsp_async_prepared(g, prepared, options);  // warm-up
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    const auto result = par::run_bsp_async_prepared(g, prepared, options);
+    const std::uint64_t allocs =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    KCORE_CHECK_MSG(result.coreness.size() == n, "bad warm run");
+    records.push_back({"allocations", "warm run_bsp_async_prepared",
+                       static_cast<double>(allocs), 0.0, "allocs/run"});
+    table.add_row({"allocations", "warm run_bsp_async_prepared",
+                   std::to_string(allocs), "-", "-"});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = util::env_bool("KCORE_QUICK", false);
+  std::cout << "== bench: kernel microbench (epoch-stamped compute_index, "
+               "gather-free relaxation) ==\n"
+            << (quick ? "(quick mode)\n" : "") << "\n";
+
+  std::vector<Record> records;
+  util::TableWriter table(
+      {"section", "input", "legacy", "epoch-stamped", "speedup"});
+  bench_compute_index(quick, records, table);
+  bench_gather(quick, records, table);
+  bench_allocations(quick, records, table);
+  table.print(std::cout);
+
+  // Exit-code gate: every compute_index input must beat the legacy
+  // kernel by at least KCORE_KERNEL_MIN_SPEEDUP (default 1.0 = strictly
+  // faster). CI sets a sub-1.0 margin so one noisy-neighbor timing
+  // window can't flip an input while a real regression (the pre-packed
+  // stamp layout measured ~0.5x on mixed inputs) still fails.
+  const double min_speedup =
+      util::env_double("KCORE_KERNEL_MIN_SPEEDUP", 1.0);
+  bool epoch_strictly_faster = true;
+  bool gate_passed = true;
+  for (const auto& record : records) {
+    if (record.section != "compute_index") continue;
+    if (record.epoch >= record.legacy) epoch_strictly_faster = false;
+    if (record.epoch * min_speedup >= record.legacy) gate_passed = false;
+  }
+  std::cout << "\nepoch-stamped strictly faster on every input: "
+            << (epoch_strictly_faster ? "yes" : "NO")
+            << "  (exit gate: speedup > " << util::fmt_double(min_speedup, 2)
+            << " -> " << (gate_passed ? "pass" : "FAIL") << ")\n";
+
+  const std::string json_path =
+      util::env_string("KCORE_KERNEL_JSON").value_or("BENCH_kernel.json");
+  std::ofstream json_out(json_path);
+  if (json_out.good()) {
+    json_out << json_of(records);
+    std::cout << "wrote " << json_path << " (" << records.size()
+              << " records)\n";
+  } else {
+    std::cerr << "warning: cannot write " << json_path << "\n";
+  }
+  return gate_passed ? 0 : 1;
+}

@@ -9,8 +9,12 @@
 // machine-readable JSON (BENCH_scaling.json, override with
 // KCORE_BENCH_JSON) so the perf trajectory of the repo is tracked run
 // over run:
-//   {"dataset", "protocol", "threads", "wall_ms", "run_ms", "rounds",
-//    "messages", "speedup_vs_1t", "first_wall_ms", "warm_wall_ms"}
+//   {"dataset", "protocol", "threads", "sched", "wall_ms", "run_ms",
+//    "rounds", "messages", "speedup_vs_1t", "first_wall_ms",
+//    "warm_wall_ms"}
+// The sched column is the bsp-async scheduling policy (lifo/delta/bound;
+// "-" for the other protocols) — each policy scales against its own
+// 1-thread baseline because the policies perform different work.
 // The session_reuse pair (first_wall_ms vs warm_wall_ms) is the
 // prepare-once/run-many amortization: the first run pays the Session
 // prepare, the warm median is the serving-path cost.
@@ -47,6 +51,8 @@ struct Record {
   std::string dataset;
   std::string protocol;
   unsigned threads = 0;
+  /// Scheduling policy of the async pool; "-" for protocols without one.
+  std::string sched = "-";
   double wall_ms = 0.0;  // best whole run (setup + run)
   double run_ms = 0.0;   // the parallel round loop only
   std::uint64_t rounds = 0;
@@ -78,6 +84,7 @@ std::string json_of(const std::vector<Record>& records) {
     const Record& r = records[i];
     out << "    {\"dataset\": \"" << r.dataset << "\", \"protocol\": \""
         << r.protocol << "\", \"threads\": " << r.threads
+        << ", \"sched\": \"" << r.sched << "\""
         << ", \"wall_ms\": " << util::fmt_double(r.wall_ms, 3)
         << ", \"run_ms\": " << util::fmt_double(r.run_ms, 3)
         << ", \"rounds\": " << r.rounds << ", \"messages\": " << r.messages
@@ -111,36 +118,49 @@ void real_execution_study(const eval::ExperimentOptions& options,
   // the session_reuse columns.
   const int repeats = std::max(2, std::min(options.runs, 3));
 
-  util::TableWriter table({"dataset", "protocol", "threads", "wall ms",
-                           "run ms", "first ms", "warm med", "rounds",
-                           "messages", "speedup"});
+  util::TableWriter table({"dataset", "protocol", "threads", "sched",
+                           "wall ms", "run ms", "first ms", "warm med",
+                           "rounds", "messages", "speedup"});
+  const auto& registry = api::ProtocolRegistry::instance();
   for (const auto& profile : profiles) {
     const auto& spec = eval::dataset_by_name(profile);
     const graph::Graph g =
         spec.build(options.scale, util::split_stream(options.base_seed, 0));
 
     // One declarative Plan per profile: the sequential baseline plus the
-    // real-execution family over the thread sweep, every cell a Session
-    // prepared once and run `repeats` times. The Plan collapses the
-    // thread axis for bz automatically (capability-driven).
+    // real-execution family over the thread sweep and (for bsp-async) the
+    // scheduling-policy sweep, every cell a Session prepared once and run
+    // `repeats` times. The Plan collapses the thread and sched axes for
+    // the protocols that ignore them automatically (capability-driven).
     api::PlanSpec plan_spec;
     plan_spec.protocols = {std::string(api::kProtocolBz),
                            std::string(api::kProtocolOneToManyPar),
                            std::string(api::kProtocolBspPar),
                            std::string(api::kProtocolBspAsync)};
     plan_spec.threads = thread_sweep();
+    plan_spec.scheds = {api::SchedPolicy::kLifo, api::SchedPolicy::kDelta,
+                        api::SchedPolicy::kBound};
     plan_spec.seeds = {util::split_stream(options.base_seed, 1)};
     plan_spec.repeats = repeats;
     api::Plan plan(g, plan_spec);
 
+    // Speedup baselines are per (protocol, sched): the policies perform
+    // different amounts of work, so each scales against its own 1-thread
+    // run.
     std::map<std::string, double> run_ms_at_1t;
     for (const auto& cell : plan.run()) {
       const double best_run_ms = cell.run_ms.min;
+      const bool scheduled =
+          registry.contains(cell.cell.protocol) &&
+          registry.entry(cell.cell.protocol).capabilities.consumes_sched;
+      const std::string sched =
+          scheduled ? api::to_string(cell.cell.sched) : "-";
+      const std::string baseline_key = cell.cell.protocol + "/" + sched;
       if (cell.cell.threads <= 1) {
-        run_ms_at_1t.emplace(cell.cell.protocol, best_run_ms);
+        run_ms_at_1t.emplace(baseline_key, best_run_ms);
       }
-      const double base = run_ms_at_1t.count(cell.cell.protocol)
-                              ? run_ms_at_1t[cell.cell.protocol]
+      const double base = run_ms_at_1t.count(baseline_key)
+                              ? run_ms_at_1t[baseline_key]
                               : best_run_ms;
       const double speedup = best_run_ms > 0.0 ? base / best_run_ms : 0.0;
       const unsigned threads =
@@ -148,13 +168,13 @@ void real_execution_study(const eval::ExperimentOptions& options,
       const double warm_med = cell.warm_wall_ms.count > 0
                                   ? cell.warm_wall_ms.median
                                   : cell.first_wall_ms;
-      records.push_back({profile, cell.cell.protocol, threads,
+      records.push_back({profile, cell.cell.protocol, threads, sched,
                          cell.wall_ms.min, best_run_ms,
                          cell.last.traffic.rounds_executed,
                          cell.last.traffic.total_messages, speedup,
                          cell.first_wall_ms, warm_med});
       table.add_row({profile, cell.cell.protocol, std::to_string(threads),
-                     util::fmt_double(cell.wall_ms.min, 2),
+                     sched, util::fmt_double(cell.wall_ms.min, 2),
                      util::fmt_double(best_run_ms, 2),
                      util::fmt_double(cell.first_wall_ms, 2),
                      util::fmt_double(warm_med, 2),

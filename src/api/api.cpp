@@ -86,7 +86,7 @@ DecomposeReport report_of(par::BspParResult result) {
   return report;
 }
 
-DecomposeReport report_of(par::AsyncResult result) {
+DecomposeReport report_of(par::AsyncResult result, core::SchedPolicy sched) {
   DecomposeReport report;
   report.coreness = std::move(result.coreness);
   // No rounds to map: the async run reports re-activation notifications
@@ -95,10 +95,13 @@ DecomposeReport report_of(par::AsyncResult result) {
   report.traffic.converged = true;
   AsyncExtras extras;
   extras.threads_used = result.threads_used;
+  extras.sched = sched;
   extras.relaxations = result.stats.relaxations;
   extras.steals = result.stats.steals;
   extras.re_enqueues = result.stats.re_enqueues;
   extras.detector_passes = result.stats.detector_passes;
+  extras.skipped_recomputes = result.stats.skipped_recomputes;
+  extras.pop_scans = result.stats.pop_scans;
   extras.setup_ms = result.setup_ms;
   extras.run_ms = result.run_ms;
   report.extras = extras;
@@ -227,7 +230,8 @@ class PreparedBspAsync final : public PreparedProtocol {
   DecomposeReport run(const DecomposeRequest& request,
                       const ProgressObserver& observer) override {
     return report_of(par::run_bsp_async_prepared(*request.graph, prepared_,
-                                                 request.options, observer));
+                                                 request.options, observer),
+                     request.options.sched);
   }
 
  private:
@@ -312,6 +316,7 @@ std::vector<std::string_view> consumed_knobs(
   if (capabilities.consumes_assignment) knobs.push_back("assignment");
   if (capabilities.consumes_hosts) knobs.push_back("hosts");
   if (capabilities.consumes_threads) knobs.push_back("threads");
+  if (capabilities.consumes_sched) knobs.push_back("sched");
   if (capabilities.consumes_targeted_send) knobs.push_back("targeted-send");
   if (capabilities.consumes_max_rounds) knobs.push_back("max-rounds");
   return knobs;
@@ -370,6 +375,7 @@ ProtocolRegistry::ProtocolRegistry() {
   bsp_async.execution = ExecutionKind::kAsync;
   bsp_async.consumes_assignment = true;
   bsp_async.consumes_threads = true;
+  bsp_async.consumes_sched = true;
   bsp_async.consumes_targeted_send = true;
   bsp_async.observer = ObserverGranularity::kNone;
   bsp_async.deterministic_extras = false;
@@ -501,6 +507,13 @@ std::vector<std::string> validate(const DecomposeRequest& request) {
         "protocol '" + request.protocol +
         "' does not run on a worker pool; --threads only applies to " +
         consumers_of(registry, &Capabilities::consumes_threads));
+  }
+  if (options.sched != core::SchedPolicy::kLifo && !caps.consumes_sched) {
+    problems.push_back(
+        "protocol '" + request.protocol +
+        "' has a fixed schedule; --sched " +
+        std::string(to_string(options.sched)) + " only applies to " +
+        consumers_of(registry, &Capabilities::consumes_sched));
   }
   return problems;
 }

@@ -53,9 +53,11 @@ using core::ProgressObserver;
 using core::RunOptions;
 using sim::DeliveryMode;
 using sim::FaultPlan;
+using core::SchedPolicy;
 using core::parse_assignment_policy;
 using core::parse_comm_policy;
 using core::parse_delivery_mode;
+using core::parse_sched_policy;
 using core::to_string;
 
 /// Registry keys of the built-in protocols (paper section in brackets).
@@ -136,15 +138,25 @@ struct ParExtras {
 /// tests/test_async_property.cpp).
 struct AsyncExtras {
   unsigned threads_used = 0;
+  /// The scheduling policy the run executed under (RunOptions::sched) —
+  /// the knob the relaxation count below is a function of.
+  core::SchedPolicy sched = core::SchedPolicy::kLifo;
   /// Vertex recomputations executed (>= one per vertex).
   std::uint64_t relaxations = 0;
-  /// Vertices taken from another worker's deque.
+  /// Vertices taken from another worker's lane.
   std::uint64_t steals = 0;
   /// Re-activations of already-processed vertices (successful in-queue
   /// flag transitions after the initial all-dirty seeding).
   std::uint64_t re_enqueues = 0;
   /// Quiescence-detector confirmation passes.
   std::uint64_t detector_passes = 0;
+  /// Relaxations resolved without running the counting kernel (no
+  /// neighbor estimate below the vertex's own — the answer is its
+  /// current estimate by monotonicity).
+  std::uint64_t skipped_recomputes = 0;
+  /// Deque probes during pops/steal sweeps — the priority pool's scan
+  /// overhead (== pops under lifo, higher for the bucketed policies).
+  std::uint64_t pop_scans = 0;
   /// Single-threaded setup (table + worklist seeding) vs the parallel
   /// relaxation phase; speedup studies should use run_ms.
   double setup_ms = 0.0;
@@ -223,6 +235,7 @@ struct Capabilities {
   bool consumes_assignment = false;     // RunOptions::assignment (§3.2.2)
   bool consumes_hosts = false;          // RunOptions::num_hosts
   bool consumes_threads = false;        // RunOptions::threads
+  bool consumes_sched = false;          // RunOptions::sched (async pool)
   bool consumes_targeted_send = false;  // §3.1.2 toggle
   bool consumes_max_rounds = false;     // RunOptions::max_rounds
   ObserverGranularity observer = ObserverGranularity::kNone;

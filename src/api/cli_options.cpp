@@ -52,6 +52,13 @@ core::RunOptions run_options_from_args(const util::Args& args,
                                      << "hash");
     options.assignment = *parsed;
   }
+  if (const auto sched = args.get("sched")) {
+    const auto parsed = core::parse_sched_policy(*sched);
+    KCORE_CHECK_MSG(parsed.has_value(),
+                    "--sched '" << *sched << "' is not a scheduling policy; "
+                                << "accepted: lifo, delta, bound");
+    options.sched = *parsed;
+  }
   if (const auto comm = args.get("comm")) {
     const auto parsed = core::parse_comm_policy(*comm);
     KCORE_CHECK_MSG(parsed.has_value(),
@@ -80,6 +87,10 @@ const char* run_options_flag_help() {
   --hosts N                  hosts / BSP workers (default: 16)
   --threads N                worker threads for the *-par and bsp-async
                              protocols (default: 0 = one per hw thread)
+  --sched lifo|delta|bound   bsp-async dirty-vertex pop order (default:
+                             lifo); delta pops the most-changed
+                             neighborhood first, bound the lowest current
+                             estimate (the peeling frontier)
   --assignment modulo|block|random|hash   node-to-host policy (default: modulo)
   --comm broadcast|point-to-point         one-to-many comm (default: point-to-point)
   --max-extra-delay D        fault plan: extra delivery delay in rounds

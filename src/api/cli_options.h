@@ -11,6 +11,8 @@
 //   --hosts N                  hosts (one-to-many) / workers (bsp)
 //   --threads N                worker threads (one-to-many-par, bsp-par,
 //                              bsp-async); 0 = one per hardware thread
+//   --sched lifo|delta|bound   bsp-async scheduling policy (pop order of
+//                              the dirty-vertex priority pool)
 //   --assignment modulo|block|random|hash   node-to-host policy (§3.2.2)
 //   --comm broadcast|point-to-point         one-to-many policy (§3.2.1)
 //   --max-extra-delay D        fault plan: extra delivery delay in rounds

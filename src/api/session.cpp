@@ -108,6 +108,7 @@ Plan::Plan(const graph::Graph& g, PlanSpec spec)
   KCORE_CHECK_MSG(spec_.repeats >= 1,
                   "repeats must be >= 1, got " << spec_.repeats);
   if (spec_.threads.empty()) spec_.threads = {spec_.base.threads};
+  if (spec_.scheds.empty()) spec_.scheds = {spec_.base.sched};
   if (spec_.seeds.empty()) spec_.seeds = {spec_.base.seed};
 }
 
@@ -115,17 +116,22 @@ std::vector<PlanCell> Plan::cells() const {
   const auto& registry = ProtocolRegistry::instance();
   std::vector<PlanCell> cells;
   for (const auto& protocol : spec_.protocols) {
-    // A protocol that does not consume worker threads gets one cell at
-    // the base thread count: sweeping an ignored knob would repeat the
-    // same work under different labels (and fail validation).
+    // A protocol that does not consume worker threads (or the async
+    // scheduling policy) gets one cell at the base value: sweeping an
+    // ignored knob would repeat the same work under different labels
+    // (and fail validation).
     std::vector<unsigned> threads = spec_.threads;
-    if (registry.contains(protocol) &&
-        !registry.entry(protocol).capabilities.consumes_threads) {
-      threads = {spec_.base.threads};
+    std::vector<core::SchedPolicy> scheds = spec_.scheds;
+    if (registry.contains(protocol)) {
+      const Capabilities& caps = registry.entry(protocol).capabilities;
+      if (!caps.consumes_threads) threads = {spec_.base.threads};
+      if (!caps.consumes_sched) scheds = {spec_.base.sched};
     }
     for (const unsigned t : threads) {
-      for (const std::uint64_t seed : spec_.seeds) {
-        cells.push_back({protocol, t, seed});
+      for (const core::SchedPolicy sched : scheds) {
+        for (const std::uint64_t seed : spec_.seeds) {
+          cells.push_back({protocol, t, sched, seed});
+        }
       }
     }
   }
@@ -140,6 +146,7 @@ std::vector<std::string> Plan::validate() const {
     request.protocol = cell.protocol;
     request.options = spec_.base;
     request.options.threads = cell.threads;
+    request.options.sched = cell.sched;
     request.options.seed = cell.seed;
     for (auto& problem : api::validate(request)) {
       if (std::find(problems.begin(), problems.end(), problem) ==
@@ -158,6 +165,7 @@ std::vector<PlanCellResult> Plan::run(
   for (const auto& cell : cells()) {
     RunOptions options = spec_.base;
     options.threads = cell.threads;
+    options.sched = cell.sched;
     options.seed = cell.seed;
     Session session(*graph_, cell.protocol, options);
 

@@ -102,6 +102,10 @@ struct PlanSpec {
   std::vector<std::string> protocols;
   /// RunOptions::threads values to sweep; empty = {base.threads}.
   std::vector<unsigned> threads;
+  /// RunOptions::sched policies to sweep; empty = {base.sched}. Collapses
+  /// to the base value for protocols without consumes_sched, like the
+  /// threads axis.
+  std::vector<core::SchedPolicy> scheds;
   /// RunOptions::seed values to sweep; empty = {base.seed}.
   std::vector<std::uint64_t> seeds;
   /// run() calls per cell (>= 1). The first pays prepare; the rest are
@@ -115,6 +119,7 @@ struct PlanSpec {
 struct PlanCell {
   std::string protocol;
   unsigned threads = 0;
+  core::SchedPolicy sched = core::SchedPolicy::kLifo;
   std::uint64_t seed = 0;
 };
 

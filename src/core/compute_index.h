@@ -8,6 +8,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -53,5 +55,114 @@ inline constexpr NodeId kEstimateInfinity = graph::kInvalidNode;
   std::vector<NodeId> scratch;
   return compute_index(neighbor_estimates, k, scratch);
 }
+
+// --- epoch-stamped hot-path variant -----------------------------------------
+// The vector-scratch kernel above pays an O(k) counts.assign on EVERY
+// call, plus two more O(k) passes (suffix sum + answer scan) — three
+// sweeps over the slot array even when the estimate barely moves.
+// IndexScratch replaces the clear with lazy epoch validation — each slot
+// packs (stamp, count) into one 64-bit word and is live only when its
+// stamp matches the current call's epoch — and fuses the suffix sum with
+// the answer scan into one downward walk that STOPS at the answer. Cost
+// drops from O(|neighbors| + 3k) to O(|neighbors| + (k - answer)); at
+// the fixed point (answer == k, the common case once the run converges)
+// the walk is O(1), and no clear pass ever runs.
+
+/// Reusable epoch-stamped scratch for the hot-path compute_index
+/// overloads. One instance per worker thread; grows to the largest k
+/// ever seen and never shrinks, so steady-state calls are allocation-free.
+class IndexScratch {
+ public:
+  /// Algorithm 2 with the estimates streamed from a callable:
+  /// `estimate_of(i)` returns the estimate of the i-th neighbor. Lets hot
+  /// loops read a shared atomic table directly — no gather buffer.
+  template <typename EstimateOf>
+  [[nodiscard]] NodeId compute_index_stream(std::size_t num_neighbors,
+                                            NodeId k,
+                                            EstimateOf&& estimate_of) {
+    if (k == 0) return 0;
+    ensure(static_cast<std::size_t>(k) + 1);
+    if (++epoch_ == 0) {
+      // One amortized re-zero every 2^32 calls keeps the stamps 32-bit
+      // (and the slot a single cache-friendly word).
+      std::fill(slot_.begin(), slot_.end(), 0);
+      epoch_ = 1;
+    }
+    const std::uint64_t stamped = static_cast<std::uint64_t>(epoch_) << 32;
+    // Low word: neighbors whose clamped estimate is exactly j; valid only
+    // when the high word matches this call's epoch (stale slots read as
+    // implicitly zero — no clear pass).
+    for (std::size_t i = 0; i < num_neighbors; ++i) {
+      const NodeId j = std::min(k, estimate_of(i));
+      const std::uint64_t slot = slot_[j];
+      slot_[j] = (slot >> 32) == epoch_ ? slot + 1 : stamped | 1;
+    }
+    // Downward walk: cum = #neighbors with estimate >= i. The largest
+    // i >= 2 with cum >= i is the answer (floor 1, matching the vector
+    // kernel's contract); the walk exits there instead of sweeping to 1.
+    NodeId cum = live_count(slot_[k]);
+    NodeId i = k;
+    while (i >= 2) {
+      if (cum >= i) return i;
+      --i;
+      cum = static_cast<NodeId>(cum + live_count(slot_[i]));
+    }
+    return 1;
+  }
+
+  /// Algorithm 2 over a materialized estimate span (kernel benches and
+  /// callers that already hold a buffer).
+  [[nodiscard]] NodeId compute_index(std::span<const NodeId> neighbor_estimates,
+                                     NodeId k) {
+    return compute_index_stream(
+        neighbor_estimates.size(), k,
+        [neighbor_estimates](std::size_t i) { return neighbor_estimates[i]; });
+  }
+
+  /// The relaxation step both hot loops (bsp-par, bsp-async) share:
+  /// skip-scan, then count. computeIndex is monotone and k never exceeds
+  /// the degree (estimates start there and only decrease), so if no
+  /// neighbor estimate sits below k then count_ge(k) == degree >= k and
+  /// the answer is exactly k — the counting kernel is a no-op and is
+  /// skipped (`skipped` reports which path ran). The early-exit scan is
+  /// cheap in the hot case too: a woken vertex usually has the lowered
+  /// neighbor near the front.
+  template <typename EstimateOf>
+  [[nodiscard]] NodeId refine(std::size_t num_neighbors, NodeId k,
+                              EstimateOf&& estimate_of, bool& skipped) {
+    skipped = false;
+    if (k == 0) return 0;
+    for (std::size_t i = 0; i < num_neighbors; ++i) {
+      if (estimate_of(i) < k) {
+        return compute_index_stream(num_neighbors, k, estimate_of);
+      }
+    }
+    skipped = true;
+    return k;
+  }
+
+  /// Current slot capacity (tests/benches: verifies steady state stops
+  /// growing).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slot_.size(); }
+
+ private:
+  [[nodiscard]] NodeId live_count(std::uint64_t slot) const noexcept {
+    return (slot >> 32) == epoch_ ? static_cast<NodeId>(slot) : 0;
+  }
+
+  void ensure(std::size_t size) {
+    if (slot_.size() < size) {
+      // Geometric growth so alternating small/large k settles after one
+      // warm-up pass; fresh slots carry stamp 0 and epoch_ is
+      // pre-incremented to >= 1 before first use, so they read as stale.
+      std::size_t grown = slot_.empty() ? 64 : slot_.size();
+      while (grown < size) grown *= 2;
+      slot_.resize(grown, 0);
+    }
+  }
+
+  std::vector<std::uint64_t> slot_;
+  std::uint32_t epoch_ = 0;
+};
 
 }  // namespace kcore::core

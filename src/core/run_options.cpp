@@ -42,6 +42,18 @@ const char* to_string(CommPolicy policy) {
   return "?";
 }
 
+const char* to_string(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kLifo:
+      return "lifo";
+    case SchedPolicy::kDelta:
+      return "delta";
+    case SchedPolicy::kBound:
+      return "bound";
+  }
+  return "?";
+}
+
 std::optional<sim::DeliveryMode> parse_delivery_mode(std::string_view name) {
   if (name == "sync" || name == "synchronous") {
     return sim::DeliveryMode::kSynchronous;
@@ -66,6 +78,13 @@ std::optional<AssignmentPolicy> parse_assignment_policy(
   if (name == "block") return AssignmentPolicy::kBlock;
   if (name == "random") return AssignmentPolicy::kRandom;
   if (name == "hash") return AssignmentPolicy::kHash;
+  return std::nullopt;
+}
+
+std::optional<SchedPolicy> parse_sched_policy(std::string_view name) {
+  if (name == "lifo") return SchedPolicy::kLifo;
+  if (name == "delta") return SchedPolicy::kDelta;
+  if (name == "bound") return SchedPolicy::kBound;
   return std::nullopt;
 }
 

@@ -41,6 +41,24 @@ enum class CommPolicy {
   kPointToPoint,
 };
 
+/// Scheduling policy of the async (chaotic-relaxation) runtime. The §4
+/// convergence argument holds for ANY schedule, so the order dirty
+/// vertices are popped is a pure performance lever:
+///  * kLifo  — freshest activation first (Chase–Lev deque order); the
+///    original bsp-async behavior and the fallback fast path.
+///  * kDelta — pop the vertex whose neighborhood changed most since it
+///    was last relaxed (largest accumulated estimate drop first).
+///  * kBound — pop the vertex whose current estimate is lowest, i.e. the
+///    one closest to its final value: the global peeling frontier, the
+///    chaotic-relaxation analogue of Batagelj–Zaveršnik's bucket order.
+/// Every policy converges to the exact decomposition; they differ only in
+/// how many relaxations the run needs (pinned by tests).
+enum class SchedPolicy {
+  kLifo,
+  kDelta,
+  kBound,
+};
+
 /// Every knob shared by the protocol runners, layered on the simulator's
 /// EngineConfig (mode, seed, max_rounds, faults). Defaults reproduce the
 /// paper's deployed configuration: cycle-driven delivery, targeted send,
@@ -59,6 +77,10 @@ struct RunOptions : sim::EngineConfig {
   /// too, while bsp-async's schedule profile (steals, re-enqueues) is
   /// interleaving-dependent by nature.
   unsigned threads = 0;
+  /// Pop order of the async runtime's dirty-vertex pool. Only bsp-async
+  /// consumes it (policed by api::validate); coreness is policy-invariant,
+  /// the relaxation count is not.
+  SchedPolicy sched = SchedPolicy::kLifo;
 
   /// Returns every problem found, empty when the options are usable.
   /// Messages are actionable ("num_hosts must be >= 1, got 0"), meant to
@@ -73,6 +95,7 @@ struct RunOptions : sim::EngineConfig {
 
 [[nodiscard]] const char* to_string(sim::DeliveryMode mode);
 [[nodiscard]] const char* to_string(CommPolicy policy);
+[[nodiscard]] const char* to_string(SchedPolicy policy);
 // to_string(AssignmentPolicy) lives in core/assignment.h.
 
 [[nodiscard]] std::optional<sim::DeliveryMode> parse_delivery_mode(
@@ -80,6 +103,8 @@ struct RunOptions : sim::EngineConfig {
 [[nodiscard]] std::optional<CommPolicy> parse_comm_policy(
     std::string_view name);
 [[nodiscard]] std::optional<AssignmentPolicy> parse_assignment_policy(
+    std::string_view name);
+[[nodiscard]] std::optional<SchedPolicy> parse_sched_policy(
     std::string_view name);
 
 // --- streaming progress -----------------------------------------------------

@@ -128,6 +128,15 @@ class QuiescenceDetector {
     return passes_.load(std::memory_order_relaxed);
   }
 
+  /// Single-threaded reset between runs (the prepared async engine reuses
+  /// one detector per worklist). Must not race with add/finish/try_confirm
+  /// — callers quiesce the workers first.
+  void reset() noexcept {
+    outstanding_.store(0, std::memory_order_relaxed);
+    passes_.store(0, std::memory_order_relaxed);
+    done_.store(false, std::memory_order_relaxed);
+  }
+
  private:
   alignas(64) std::atomic<std::int64_t> outstanding_{0};
   std::atomic<std::uint64_t> passes_{0};

@@ -1,8 +1,11 @@
 #include "par/async_engine.h"
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <span>
 #include <thread>
 
 #include "core/assignment.h"
@@ -14,29 +17,69 @@
 
 namespace kcore::par {
 
+namespace {
+
+using core::SchedPolicy;
+
+PriorityPool<std::uint32_t> make_pool(unsigned workers, SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kLifo:
+      // One bucket per lane: push/pop degenerate to the classic Chase–Lev
+      // LIFO/steal path with a single-probe scan.
+      return {workers, 1, PopOrder::kAscending};
+    case SchedPolicy::kBound:
+      // Bucket = current estimate: the lowest estimate is the closest to
+      // final (the peeling frontier), so ascending pop order.
+      return {workers, AsyncWorklist::kBuckets, PopOrder::kAscending};
+    case SchedPolicy::kDelta:
+      // Bucket = log2 of the accumulated estimate drop since the vertex
+      // was last relaxed: the most-changed neighborhood pops first.
+      return {workers, AsyncWorklist::kBuckets, PopOrder::kDescending};
+  }
+  return {workers, 1, PopOrder::kAscending};
+}
+
+/// bound: clamp the estimate into the bitmap width.
+std::uint32_t bound_bucket(graph::NodeId estimate) {
+  return std::min<std::uint32_t>(estimate, AsyncWorklist::kBuckets - 1);
+}
+
+/// delta: log-scaled so the 64 buckets cover any drop magnitude;
+/// accumulated >= 1 keeps seeded work (bucket 0) behind every real change
+/// under descending pop order.
+std::uint32_t delta_bucket(std::uint32_t accumulated) {
+  return std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(std::bit_width(accumulated)),
+      AsyncWorklist::kBuckets - 1);
+}
+
+}  // namespace
+
 // --- AsyncWorklist ----------------------------------------------------------
 
-AsyncWorklist::AsyncWorklist(std::uint32_t size, unsigned workers)
-    : in_queue_(size) {
+AsyncWorklist::AsyncWorklist(std::uint32_t size, unsigned workers,
+                             SchedPolicy policy)
+    : policy_(policy),
+      in_queue_(size),
+      pool_(make_pool(workers, policy)),
+      tallies_(workers) {
   KCORE_CHECK_MSG(workers >= 1, "worklist needs at least one worker");
   for (std::uint32_t i = 0; i < size; ++i) {
     in_queue_[i].store(0, std::memory_order_relaxed);
   }
-  deques_.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    deques_.push_back(std::make_unique<WorkerState>());
-  }
 }
 
-void AsyncWorklist::seed(std::uint32_t item, unsigned worker) {
+void AsyncWorklist::seed(std::uint32_t item, unsigned worker,
+                         std::uint32_t bucket) {
   in_queue_[item].store(1, std::memory_order_relaxed);
   detector_.add();
-  deques_[worker]->deque.push(item);
-  ++deques_[worker]->enqueues;
+  pool_.push(item, bucket, worker);
+  ++tallies_[worker].enqueues;
 }
 
-bool AsyncWorklist::schedule(std::uint32_t item, unsigned worker) {
-  // Only the 0->1 winner enqueues: a vertex is in at most one deque, and
+bool AsyncWorklist::schedule(std::uint32_t item, unsigned worker,
+                             std::uint32_t bucket) {
+  // Only the 0->1 winner enqueues: a vertex is in at most one bucket, and
   // each enqueue is matched by exactly one acquire+finish.
   if (in_queue_[item].exchange(1, std::memory_order_acq_rel) != 0) {
     return false;
@@ -44,23 +87,18 @@ bool AsyncWorklist::schedule(std::uint32_t item, unsigned worker) {
   // add() BEFORE the push: the moment the item is stealable it is already
   // counted, so the detector can never observe a transient zero.
   detector_.add();
-  auto& mine = *deques_[worker];
-  mine.deque.push(item);
-  ++mine.enqueues;
+  pool_.push(item, bucket, worker);
+  ++tallies_[worker].enqueues;
   return true;
 }
 
 std::uint32_t AsyncWorklist::acquire(unsigned worker) {
-  auto& mine = *deques_[worker];
+  auto& tally = tallies_[worker];
   std::uint32_t item = kNone;
-  if (mine.deque.pop(item)) return item;
-  const auto n = static_cast<unsigned>(deques_.size());
-  for (unsigned offset = 1; offset < n; ++offset) {
-    const unsigned victim = (worker + offset) % n;
-    if (deques_[victim]->deque.steal(item)) {
-      ++mine.steals;
-      return item;
-    }
+  if (pool_.pop_own(item, worker, tally.pop_scans)) return item;
+  if (pool_.steal(item, worker, tally.pop_scans)) {
+    ++tally.steals;
+    return item;
   }
   return kNone;
 }
@@ -72,15 +110,28 @@ void AsyncWorklist::begin(std::uint32_t item) {
   (void)in_queue_[item].exchange(0, std::memory_order_acq_rel);
 }
 
+void AsyncWorklist::reset() {
+  for (auto& flag : in_queue_) flag.store(0, std::memory_order_relaxed);
+  for (auto& tally : tallies_) tally = WorkerTally{};
+  pool_.clear();
+  detector_.reset();
+}
+
 std::uint64_t AsyncWorklist::total_steals() const {
   std::uint64_t total = 0;
-  for (const auto& state : deques_) total += state->steals;
+  for (const auto& tally : tallies_) total += tally.steals;
   return total;
 }
 
 std::uint64_t AsyncWorklist::total_enqueues() const {
   std::uint64_t total = 0;
-  for (const auto& state : deques_) total += state->enqueues;
+  for (const auto& tally : tallies_) total += tally.enqueues;
+  return total;
+}
+
+std::uint64_t AsyncWorklist::total_pop_scans() const {
+  std::uint64_t total = 0;
+  for (const auto& tally : tallies_) total += tally.pop_scans;
   return total;
 }
 
@@ -99,14 +150,27 @@ AsyncPrepared prepare_bsp_async(const graph::Graph& g,
   AsyncPrepared prepared;
   prepared.workers = resolve_threads(options.threads);
   if (prepared.workers > n) prepared.workers = n;
+  prepared.sched = options.sched;
   // Initial distribution of the all-dirty vertex set over the worker
-  // deques via the §3.2.2 policies — a pure function of the options (the
-  // kRandom policy splits the root seed), never of the schedule.
-  prepared.owner = core::assign_nodes(n, prepared.workers, options.assignment,
-                                      util::split_stream(options.seed, 0));
+  // lanes via the §3.2.2 policies — a pure function of the options (the
+  // kRandom policy splits the root seed), never of the schedule. Only
+  // the materialized per-worker seed ORDER is kept; warm runs replay it
+  // without re-walking an owner array.
+  const auto owner = core::assign_nodes(n, prepared.workers,
+                                        options.assignment,
+                                        util::split_stream(options.seed, 0));
+  prepared.seeds.assign(prepared.workers, {});
+  for (graph::NodeId u = 0; u < n; ++u) {
+    prepared.seeds[owner[u]].push_back(u);
+  }
   // The one shared estimate table. All traffic goes through it — no
   // epochs; run_bsp_async_prepared re-initializes it per run.
   prepared.est = std::vector<std::atomic<graph::NodeId>>(n);
+  if (prepared.sched == SchedPolicy::kDelta) {
+    prepared.delta = std::vector<std::atomic<std::uint32_t>>(n);
+  }
+  prepared.worklist =
+      std::make_unique<AsyncWorklist>(n, prepared.workers, prepared.sched);
   return prepared;
 }
 
@@ -134,39 +198,65 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
                                    const core::ProgressObserver& /*observer*/) {
   AsyncResult result;
   const graph::NodeId n = g.num_nodes();
-  KCORE_CHECK_MSG(prepared.owner.size() == n,
+  KCORE_CHECK_MSG(prepared.est.size() == n,
                   "prepared state does not match this graph");
+  KCORE_CHECK_MSG(prepared.sched == options.sched,
+                  "prepared state was built for --sched "
+                      << core::to_string(prepared.sched)
+                      << ", this run asks for "
+                      << core::to_string(options.sched));
+  KCORE_CHECK_MSG(
+      prepared.workers == std::min<unsigned>(resolve_threads(options.threads),
+                                             n),
+      "prepared state was built for " << prepared.workers
+                                      << " workers, this run asks for "
+                                      << options.threads << " threads");
   const unsigned workers = prepared.workers;
+  const SchedPolicy sched = prepared.sched;
   result.threads_used = workers;
   const auto setup_start = Clock::now();
 
   // Reset the shared estimate table to the degrees (Algorithm 1's
-  // starting estimate).
+  // starting estimate) and the pending-change accumulators to zero.
   std::vector<std::atomic<graph::NodeId>>& est = prepared.est;
   for (graph::NodeId u = 0; u < n; ++u) {
     est[u].store(g.degree(u), std::memory_order_relaxed);
   }
+  std::vector<std::atomic<std::uint32_t>>& delta = prepared.delta;
+  if (sched == SchedPolicy::kDelta) {
+    for (graph::NodeId u = 0; u < n; ++u) {
+      delta[u].store(0, std::memory_order_relaxed);
+    }
+  }
 
-  AsyncWorklist worklist(n, workers);
-  for (graph::NodeId u = 0; u < n; ++u) {
-    worklist.seed(u, prepared.owner[u]);
+  // Reset-in-place, then replay the cached per-worker seed order: warm
+  // runs allocate nothing here (the pool keeps its grown rings).
+  AsyncWorklist& worklist = *prepared.worklist;
+  worklist.reset();
+  for (unsigned w = 0; w < workers; ++w) {
+    for (const std::uint32_t u : prepared.seeds[w]) {
+      const std::uint32_t bucket =
+          sched == SchedPolicy::kBound ? bound_bucket(g.degree(u)) : 0;
+      worklist.seed(u, w, bucket);
+    }
   }
 
   const bool targeted = options.targeted_send;
   std::atomic<bool> abort{false};
+  std::atomic<std::uint64_t> skipped_total{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
   auto worker_fn = [&](unsigned w) {
     try {
-      std::vector<graph::NodeId> gather;
-      std::vector<graph::NodeId> counts;
+      core::IndexScratch scratch;
+      std::uint64_t skipped = 0;
       unsigned idle_sweeps = 0;
       while (!worklist.done() && !abort.load(std::memory_order_relaxed)) {
         const std::uint32_t u = worklist.acquire(w);
         if (u == AsyncWorklist::kNone) {
           // Nothing runnable HERE is not termination: another worker may
-          // still be relaxing (its wakes will repopulate the deques).
+          // still be relaxing (its wakes will repopulate the lanes).
           // Only the detector's confirmed zero ends the run.
           if (worklist.try_confirm()) break;
           // Back off while dry: a long sequential dependency chain can
@@ -182,15 +272,25 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
         }
         idle_sweeps = 0;
         worklist.begin(u);  // clear-before-read: the wakeup handshake
-        const graph::NodeId k = est[u].load(std::memory_order_acquire);
-        graph::NodeId refined = k;
-        if (k > 0) {
-          gather.clear();
-          for (const graph::NodeId v : g.neighbors(u)) {
-            gather.push_back(est[v].load(std::memory_order_acquire));
-          }
-          refined = core::compute_index(gather, k, counts);
+        if (sched == SchedPolicy::kDelta) {
+          // Consume the pending-change accumulator: priority restarts
+          // from zero for the NEXT activation of u (hint only — a racing
+          // accumulate merely inflates a later priority).
+          delta[u].store(0, std::memory_order_relaxed);
         }
+        const graph::NodeId k = est[u].load(std::memory_order_acquire);
+        const std::span<const graph::NodeId> nbrs = g.neighbors(u);
+        // Skip-scan + allocation-free streamed count, shared with
+        // bsp-par (core::IndexScratch::refine): the estimates stream
+        // straight from the shared table into the epoch-stamped kernel.
+        bool fast_path = false;
+        const graph::NodeId refined = scratch.refine(
+            nbrs.size(), k,
+            [&](std::size_t i) {
+              return est[nbrs[i]].load(std::memory_order_acquire);
+            },
+            fast_path);
+        if (fast_path) ++skipped;
         if (refined < k) {
           // Publish via CAS-min: est only decreases, and a concurrent
           // relaxation of u may already have gone lower.
@@ -208,15 +308,34 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
           // that beat us to <= refined already woke the neighborhood for
           // its (stronger) value.
           if (lowered) {
+            const std::uint32_t drop = k - refined;
+            // est[v] feeds the targeted filter and the bound bucket; a
+            // lifo run with the filter off needs neither load.
+            const bool need_neighbor_estimate =
+                targeted || sched == SchedPolicy::kBound;
             for (const graph::NodeId v : g.neighbors(u)) {
+              const graph::NodeId ev =
+                  need_neighbor_estimate
+                      ? est[v].load(std::memory_order_acquire)
+                      : 0;
               // §3.1.2 targeted wake, still safe under asynchrony: est[v]
               // never rises, so est[v] <= refined stays true forever and
               // v's computeIndex can never be lowered by this estimate.
-              if (targeted &&
-                  est[v].load(std::memory_order_acquire) <= refined) {
-                continue;
+              if (targeted && ev <= refined) continue;
+              std::uint32_t bucket = 0;
+              switch (sched) {
+                case SchedPolicy::kLifo:
+                  break;
+                case SchedPolicy::kBound:
+                  bucket = bound_bucket(ev);
+                  break;
+                case SchedPolicy::kDelta:
+                  bucket = delta_bucket(
+                      delta[v].fetch_add(drop, std::memory_order_relaxed) +
+                      drop);
+                  break;
               }
-              worklist.schedule(v, w);
+              worklist.schedule(v, w, bucket);
             }
           }
         }
@@ -224,6 +343,7 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
         // before this unit stops being outstanding.
         worklist.finish();
       }
+      skipped_total.fetch_add(skipped, std::memory_order_relaxed);
     } catch (...) {
       {
         const std::lock_guard<std::mutex> lock(error_mutex);
@@ -252,6 +372,9 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
   result.stats.steals = worklist.total_steals();
   result.stats.re_enqueues = worklist.total_enqueues() - n;
   result.stats.detector_passes = worklist.detector().passes();
+  result.stats.skipped_recomputes =
+      skipped_total.load(std::memory_order_relaxed);
+  result.stats.pop_scans = worklist.total_pop_scans();
 
   // The workers' join happens-before these loads: the table is final.
   result.coreness.resize(n);

@@ -13,26 +13,33 @@
 //  * ONE shared atomic estimate table — no epochs, no double buffering,
 //    no barriers. Readers may observe half-propagated states; the lattice
 //    argument above makes every such state safe.
-//  * Per-worker Chase–Lev deques (par/steal_deque.h) of dirty vertices;
-//    idle workers steal from the top of their peers' deques.
+//  * A pluggable SCHEDULING POLICY (core::SchedPolicy): because any
+//    schedule converges, pop order is a pure performance lever. The
+//    dirty-vertex pool is a bucketed priority pool (par/priority_pool.h)
+//    of Chase–Lev deques — policy lifo uses one bucket per worker (the
+//    classic LIFO/steal path), policy bound buckets by current estimate
+//    and pops lowest first (the peeling frontier), policy delta buckets
+//    by accumulated neighborhood change and pops largest first.
 //  * A lost-wakeup-safe re-enqueue protocol: one atomic in-queue flag per
 //    vertex. schedule() enqueues only on the flag's 0->1 exchange (a
-//    vertex sits in at most one deque); a worker clears the flag — also
+//    vertex sits in at most one bucket); a worker clears the flag — also
 //    with an exchange, so every flag write is an RMW and the release
 //    sequence never breaks — BEFORE reading its inputs. An estimate that
 //    drops after the clear re-flags and re-enqueues the vertex; one that
 //    dropped before is visible to the read (the clearing exchange
 //    synchronizes with every earlier flag RMW). Either way the update is
-//    never lost.
+//    never lost. The protocol is identical under every policy — the pool
+//    only changes which flagged vertex is popped next.
 //  * Concurrent quiescence detection: core::QuiescenceDetector counts
 //    outstanding work (add on every enqueue, finish after a vertex is
 //    fully processed, including the wakes it issued), and an idle worker
 //    that finds the counter at zero runs the confirmation pass — the §3.3
 //    centralized detector ported to shared memory.
 //
-// AsyncWorklist is the scheduling core (flags + deques + detector)
-// factored out of the engine so tests/test_async_runtime.cpp can hammer
-// the protocol directly, without a graph in the loop.
+// AsyncWorklist is the scheduling core (flags + priority pool + detector)
+// factored out of the engine so tests/test_async_runtime.cpp and
+// tests/test_priority_pool.cpp can hammer the protocol directly, without
+// a graph in the loop.
 #pragma once
 
 #include <atomic>
@@ -43,22 +50,31 @@
 #include "core/run_options.h"
 #include "core/termination.h"
 #include "graph/graph.h"
-#include "par/steal_deque.h"
+#include "par/priority_pool.h"
 
 namespace kcore::par {
 
 /// Execution profile of an async run (the AsyncExtras payload).
 struct AsyncStats {
   /// Vertex recomputations executed (>= n: every vertex is processed at
-  /// least once, re-activations add more).
+  /// least once, re-activations add more). The scheduling policy's whole
+  /// job is to shrink this number.
   std::uint64_t relaxations = 0;
-  /// Vertices obtained from another worker's deque.
+  /// Vertices obtained from another worker's lane.
   std::uint64_t steals = 0;
   /// Successful 0->1 flag transitions AFTER the initial seeding — the
   /// activation notifications that actually materialized.
   std::uint64_t re_enqueues = 0;
   /// Quiescence-detector confirmation passes started.
   std::uint64_t detector_passes = 0;
+  /// Relaxations resolved by the fast path: no neighbor estimate was
+  /// below the vertex's own, so computeIndex cannot lower it and the
+  /// counting kernel is skipped entirely.
+  std::uint64_t skipped_recomputes = 0;
+  /// Deque probes performed while popping/stealing — the priority pool's
+  /// scan overhead (== successful pops for lifo, higher for the bucketed
+  /// policies and for dry steal sweeps).
+  std::uint64_t pop_scans = 0;
 };
 
 /// Coreness plus the run profile.
@@ -66,39 +82,47 @@ struct AsyncResult {
   std::vector<graph::NodeId> coreness;
   AsyncStats stats;
   unsigned threads_used = 0;
-  double setup_ms = 0.0;  // table/worklist construction + seeding
+  double setup_ms = 0.0;  // table/worklist reset + seeding
   double run_ms = 0.0;    // the chaotic-relaxation phase
 };
 
-/// The scheduling core: per-item in-queue flags, per-worker steal deques,
-/// and the shared quiescence detector. Items are dense ids in [0, size).
+/// The scheduling core: per-item in-queue flags, the bucketed priority
+/// pool of per-worker steal deques, and the shared quiescence detector.
+/// Items are dense ids in [0, size).
 ///
 /// Thread contract: worker w is the only caller of acquire(w) and the only
-/// owner of deque w; schedule(item, w) may be called by any worker (it
-/// pushes into the CALLER's deque, which it owns). seed() is single-
-/// threaded, before the workers start.
+/// owner of lane w; schedule(item, w, bucket) may be called by any worker
+/// (it pushes into the CALLER's lane, which it owns). seed() and reset()
+/// are single-threaded, before the workers start.
 class AsyncWorklist {
  public:
   static constexpr std::uint32_t kNone = UINT32_MAX;
+  /// Priority buckets of the non-lifo policies (== the pool's bitmap
+  /// width). Priorities at or above the cap share the last bucket.
+  static constexpr std::uint32_t kBuckets = PriorityPool<std::uint32_t>::kMaxBuckets;
 
-  AsyncWorklist(std::uint32_t size, unsigned workers);
+  AsyncWorklist(std::uint32_t size, unsigned workers,
+                core::SchedPolicy policy = core::SchedPolicy::kLifo);
 
-  [[nodiscard]] unsigned workers() const noexcept {
-    return static_cast<unsigned>(deques_.size());
-  }
+  [[nodiscard]] unsigned workers() const noexcept { return pool_.workers(); }
+  [[nodiscard]] core::SchedPolicy policy() const noexcept { return policy_; }
 
-  /// Pre-run seeding: flag `item` and enqueue it into `worker`'s deque.
-  /// Must not race with acquire/schedule.
-  void seed(std::uint32_t item, unsigned worker);
+  /// Pre-run seeding: flag `item` and enqueue it into `worker`'s lane at
+  /// `bucket`. Must not race with acquire/schedule.
+  void seed(std::uint32_t item, unsigned worker, std::uint32_t bucket = 0);
 
   /// Activation: flag `item` and, if this call won the 0->1 transition,
-  /// enqueue it into the calling worker's deque. Returns true when this
-  /// call enqueued (false: the item was already scheduled elsewhere).
-  bool schedule(std::uint32_t item, unsigned worker);
+  /// enqueue it into the calling worker's lane at priority `bucket`
+  /// (clamped to the pool width; ignored under lifo). Returns true when
+  /// this call enqueued (false: the item was already scheduled elsewhere
+  /// — its bucket keeps the priority it was enqueued with, the MultiQueue
+  /// staleness trade).
+  bool schedule(std::uint32_t item, unsigned worker, std::uint32_t bucket = 0);
 
-  /// Next item for worker w: own deque first (LIFO), then steal sweeps
-  /// over the other workers. kNone when nothing was found (the caller
-  /// should try_confirm()/back off and retry — kNone is NOT termination).
+  /// Next item for worker w: own lane in bucket-priority order first,
+  /// then a bucket-major steal sweep over the other lanes. kNone when
+  /// nothing was found (the caller should try_confirm()/back off and
+  /// retry — kNone is NOT termination).
   [[nodiscard]] std::uint32_t acquire(unsigned worker);
 
   /// Clear the acquired item's in-queue flag. MUST be called before
@@ -129,25 +153,35 @@ class AsyncWorklist {
     return in_queue_[item].load(std::memory_order_acquire) != 0;
   }
 
+  /// Single-threaded reset between runs: clear every flag and tally,
+  /// empty the pool (keeping its ring allocations) and re-arm the
+  /// detector. Lets api::Session reuse one worklist across warm runs
+  /// instead of re-allocating it.
+  void reset();
+
   /// Post-run tallies, summed over workers (call after the workers join).
   [[nodiscard]] std::uint64_t total_steals() const;
   [[nodiscard]] std::uint64_t total_enqueues() const;
+  [[nodiscard]] std::uint64_t total_pop_scans() const;
 
  private:
-  struct alignas(64) WorkerState {
-    StealDeque<std::uint32_t> deque;
-    std::uint64_t steals = 0;    // written only by the owning worker
-    std::uint64_t enqueues = 0;  // successful schedule() calls
+  struct alignas(64) WorkerTally {
+    std::uint64_t steals = 0;     // written only by the owning worker
+    std::uint64_t enqueues = 0;   // successful seed/schedule calls
+    std::uint64_t pop_scans = 0;  // deque probes during acquire
   };
 
+  core::SchedPolicy policy_;
   std::vector<std::atomic<std::uint8_t>> in_queue_;
-  std::vector<std::unique_ptr<WorkerState>> deques_;
+  PriorityPool<std::uint32_t> pool_;
+  std::vector<WorkerTally> tallies_;
   core::QuiescenceDetector detector_;
 };
 
 /// Run the async chaotic-relaxation decomposition. Consumed options:
-/// threads (0 = hardware concurrency), assignment + seed (initial
-/// distribution of vertices over worker deques — a pure function of the
+/// threads (0 = hardware concurrency), sched (pop-order policy — pure
+/// performance, coreness is policy-invariant), assignment + seed (initial
+/// distribution of vertices over worker lanes — a pure function of the
 /// options, never of the schedule), targeted_send (§3.1.2 wake filter,
 /// safe under asynchrony because estimates only decrease). mode,
 /// max_rounds, num_hosts and comm are round-/simulator-shaped and are
@@ -160,15 +194,22 @@ class AsyncWorklist {
     const core::ProgressObserver& observer = {});
 
 /// Amortizable state of an async run, for api::Session's prepare-once /
-/// run-many contract: the pure-function-of-options initial vertex→worker
-/// distribution plus the shared atomic estimate table. Each
-/// run_bsp_async_prepared call re-initializes the table to the degrees
-/// and seeds a fresh worklist (the worklist itself is cheap; the
-/// assignment and the table allocation are not).
+/// run-many contract — everything that is a pure function of
+/// (graph, options):
+///  * the per-worker SEED ORDER (the §3.2.2 assignment materialized as
+///    one vertex list per lane, so warm runs never re-walk the owner
+///    array),
+///  * the shared atomic estimate table (reset to the degrees per run),
+///  * the per-vertex pending-change accumulators (sched=delta only),
+///  * the worklist itself (flags + pool + detector), reset in place per
+///    run so warm runs re-allocate nothing.
 struct AsyncPrepared {
   unsigned workers = 0;
-  std::vector<sim::HostId> owner;
+  core::SchedPolicy sched = core::SchedPolicy::kLifo;
+  std::vector<std::vector<std::uint32_t>> seeds;
   std::vector<std::atomic<graph::NodeId>> est;
+  std::vector<std::atomic<std::uint32_t>> delta;
+  std::unique_ptr<AsyncWorklist> worklist;
 };
 
 [[nodiscard]] AsyncPrepared prepare_bsp_async(const graph::Graph& g,
@@ -177,7 +218,8 @@ struct AsyncPrepared {
 /// Execute one run from prepared state. Coreness is bit-identical to the
 /// one-shot runner (and to the sequential baseline); the schedule profile
 /// in stats is interleaving-dependent as always. result.setup_ms covers
-/// only this run's residual setup (table reset + worklist seeding).
+/// only this run's residual setup (table + worklist reset + seeding).
+/// `options.sched` and `options.threads` must match the prepared state.
 [[nodiscard]] AsyncResult run_bsp_async_prepared(
     const graph::Graph& g, AsyncPrepared& prepared,
     const core::RunOptions& options,

@@ -128,9 +128,11 @@ BspParResult run_bsp_par_prepared(const graph::Graph& g,
   const bool targeted = options.targeted_send;
 
   std::vector<WorkerTally> tallies(workers);
-  struct WorkerScratch {
-    std::vector<graph::NodeId> gather;
-    std::vector<graph::NodeId> counts;
+  // Cache-line-aligned like WorkerTally: the scratch's epoch counter is
+  // written on every relaxation, so adjacent workers must not share a
+  // line.
+  struct alignas(64) WorkerScratch {
+    core::IndexScratch index;
   };
   std::vector<WorkerScratch> scratch(workers);
 
@@ -148,14 +150,18 @@ BspParResult run_bsp_par_prepared(const graph::Graph& g,
         continue;
       }
       cur_flags[u].store(0, std::memory_order_relaxed);
-      graph::NodeId refined = k;
-      if (k > 0) {
-        my.gather.clear();
-        for (const graph::NodeId v : g.neighbors(u)) {
-          my.gather.push_back(prev[v].load(std::memory_order_relaxed));
-        }
-        refined = core::compute_index(my.gather, k, my.counts);
-      }
+      const auto nbrs = g.neighbors(u);
+      // Skip-scan + allocation-free streamed count over the prev epoch,
+      // shared with bsp-async (core::IndexScratch::refine).
+      // Deterministic: the skip writes the same `refined` the kernel
+      // would have.
+      bool fast_path = false;
+      const graph::NodeId refined = my.index.refine(
+          nbrs.size(), k,
+          [&](std::size_t i) {
+            return prev[nbrs[i]].load(std::memory_order_relaxed);
+          },
+          fast_path);
       next[u].store(refined, std::memory_order_relaxed);
       if (refined < k) {
         ++tally.changed;

@@ -100,6 +100,14 @@ class StealDeque {
         t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
   }
 
+  /// Single-threaded reset between runs: forget any content, KEEP the
+  /// grown rings (so a warm re-run never re-allocates). Must not race
+  /// with push/pop/steal — callers quiesce the workers first.
+  void clear() noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    top_.store(b, std::memory_order_relaxed);
+  }
+
   /// Racy size estimate (monitoring/tests only — never a correctness
   /// signal; emptiness is decided by pop/steal themselves).
   [[nodiscard]] std::int64_t size_estimate() const {

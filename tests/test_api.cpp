@@ -308,13 +308,18 @@ TEST(ApiCapabilities, BuiltinDescriptorsAreTruthful) {
     EXPECT_TRUE(caps(key).consumes_threads) << key;
     EXPECT_TRUE(caps(key).deterministic_extras) << key;
   }
-  // The async runtime: round-free (no observer stream) and the only
-  // built-in with a schedule-dependent profile.
+  // The async runtime: round-free (no observer stream), the only
+  // built-in with a schedule-dependent profile, and the only consumer of
+  // the scheduling-policy knob.
   EXPECT_EQ(caps(api::kProtocolBspAsync).execution,
             api::ExecutionKind::kAsync);
   EXPECT_EQ(caps(api::kProtocolBspAsync).observer,
             api::ObserverGranularity::kNone);
   EXPECT_FALSE(caps(api::kProtocolBspAsync).deterministic_extras);
+  for (const auto key : builtins) {
+    EXPECT_EQ(caps(key).consumes_sched, key == api::kProtocolBspAsync)
+        << key;
+  }
   for (const auto key : builtins) {
     if (key != api::kProtocolBspAsync) {
       EXPECT_TRUE(caps(key).deterministic_extras) << key;
@@ -382,6 +387,17 @@ TEST(ApiEnums, CommPolicyRoundTrips) {
   }
   EXPECT_EQ(api::parse_comm_policy("p2p"), api::CommPolicy::kPointToPoint);
   EXPECT_FALSE(api::parse_comm_policy("carrier-pigeon").has_value());
+}
+
+TEST(ApiEnums, SchedPolicyRoundTrips) {
+  for (const auto policy :
+       {api::SchedPolicy::kLifo, api::SchedPolicy::kDelta,
+        api::SchedPolicy::kBound}) {
+    const auto parsed = api::parse_sched_policy(api::to_string(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(api::parse_sched_policy("fifo").has_value());
 }
 
 TEST(ApiEnums, AssignmentPolicyRoundTrips) {
@@ -506,6 +522,32 @@ TEST(ApiValidate, ThreadsRejectedForPoollessRuntimes) {
         api::kProtocolBspAsync}) {
     request.protocol = std::string(protocol);
     EXPECT_TRUE(api::validate(request).empty()) << protocol;
+  }
+}
+
+TEST(ApiValidate, SchedRejectedForFixedScheduleRuntimes) {
+  // --sched picks the async pool's pop order; aimed at any other runtime
+  // it would silently report results as if the policy had been honored.
+  const Graph g = gen::clique(4);
+  api::DecomposeRequest request;
+  request.graph = &g;
+  request.options.sched = api::SchedPolicy::kBound;
+  for (const auto protocol :
+       {api::kProtocolBz, api::kProtocolPeeling, api::kProtocolOneToOne,
+        api::kProtocolOneToMany, api::kProtocolBsp,
+        api::kProtocolOneToManyPar, api::kProtocolBspPar}) {
+    request.protocol = std::string(protocol);
+    const auto problems = api::validate(request);
+    ASSERT_EQ(problems.size(), 1U) << protocol;
+    EXPECT_NE(problems[0].find("--sched"), std::string::npos) << protocol;
+    EXPECT_NE(problems[0].find("bsp-async"), std::string::npos) << protocol;
+  }
+  for (const auto sched : {api::SchedPolicy::kLifo, api::SchedPolicy::kDelta,
+                           api::SchedPolicy::kBound}) {
+    request.protocol = std::string(api::kProtocolBspAsync);
+    request.options.sched = sched;
+    EXPECT_TRUE(api::validate(request).empty())
+        << api::to_string(sched);
   }
 }
 
@@ -640,8 +682,8 @@ TEST(ApiCliOptions, ParsesTheSharedFlagSet) {
   const util::Args args({"decompose", "--mode", "sync", "--seed", "9",
                          "--max-rounds", "77", "--hosts", "32",
                          "--assignment", "hash", "--comm", "broadcast",
-                         "--max-extra-delay", "3", "--dup-prob", "0.25",
-                         "--no-targeted-send"});
+                         "--sched", "bound", "--max-extra-delay", "3",
+                         "--dup-prob", "0.25", "--no-targeted-send"});
   const auto options = api::run_options_from_args(args);
   EXPECT_EQ(options.mode, sim::DeliveryMode::kSynchronous);
   EXPECT_EQ(options.seed, 9U);
@@ -649,6 +691,7 @@ TEST(ApiCliOptions, ParsesTheSharedFlagSet) {
   EXPECT_EQ(options.num_hosts, 32U);
   EXPECT_EQ(options.assignment, api::AssignmentPolicy::kHash);
   EXPECT_EQ(options.comm, api::CommPolicy::kBroadcast);
+  EXPECT_EQ(options.sched, api::SchedPolicy::kBound);
   EXPECT_EQ(options.faults.max_extra_delay, 3U);
   EXPECT_DOUBLE_EQ(options.faults.duplicate_probability, 0.25);
   EXPECT_FALSE(options.targeted_send);
@@ -660,6 +703,7 @@ TEST(ApiCliOptions, DefaultsSurviveWhenFlagsAbsent) {
   EXPECT_EQ(options.mode, sim::DeliveryMode::kCycleRandomOrder);
   EXPECT_EQ(options.seed, 1U);
   EXPECT_EQ(options.num_hosts, 16U);
+  EXPECT_EQ(options.sched, api::SchedPolicy::kLifo);
   EXPECT_TRUE(options.targeted_send);
 }
 

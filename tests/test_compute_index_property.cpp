@@ -34,6 +34,10 @@ TEST_P(ComputeIndexSweep, MatchesBruteForce) {
   util::Xoshiro256 rng(GetParam().degree * 1000 + GetParam().value_range);
   std::vector<NodeId> est(GetParam().degree);
   std::vector<NodeId> scratch;
+  // ONE epoch-stamped scratch across every trial — exactly the reuse
+  // pattern of the hot loops, so stale-slot leakage between calls with
+  // wildly different k would surface here.
+  IndexScratch epoch_scratch;
   for (int trial = 0; trial < 300; ++trial) {
     for (auto& e : est) {
       // Mix finite estimates with occasional +infinity entries.
@@ -44,9 +48,18 @@ TEST_P(ComputeIndexSweep, MatchesBruteForce) {
     }
     const auto k = static_cast<NodeId>(
         rng.next_below(GetParam().degree + 2));
-    ASSERT_EQ(compute_index(est, k, scratch), brute_force_index(est, k))
+    const NodeId expected = brute_force_index(est, k);
+    ASSERT_EQ(compute_index(est, k, scratch), expected)
         << "degree=" << GetParam().degree << " k=" << k << " trial "
         << trial;
+    // The epoch-stamped kernel (span and streamed forms) must agree
+    // bit-for-bit with the reference on every input.
+    ASSERT_EQ(epoch_scratch.compute_index(est, k), expected)
+        << "epoch-stamped, degree=" << GetParam().degree << " k=" << k;
+    ASSERT_EQ(epoch_scratch.compute_index_stream(
+                  est.size(), k, [&](std::size_t i) { return est[i]; }),
+              expected)
+        << "streamed, degree=" << GetParam().degree << " k=" << k;
   }
 }
 

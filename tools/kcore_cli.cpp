@@ -7,7 +7,8 @@
 //   decompose  --input FILE [--algo <registry key>] [run options]
 //              [--output FILE] [--summary] [--progress N] [--repeat N]
 //   sweep      --input FILE [--algos a,b,..] [--thread-counts 1,2,..]
-//              [--seeds 1,2,..] [--repeat N] [run options]
+//              [--scheds lifo,delta,..] [--seeds 1,2,..] [--repeat N]
+//              [run options]
 //   generate   --family NAME [--n N] [--seed S] [--output FILE] [...]
 //   stats      --input FILE
 //   dot        --input FILE [--output FILE] [--max-nodes N]
@@ -66,7 +67,9 @@ int usage() {
                "min/median/max wall-ms)\n"
             << "  sweep     --input FILE [--algos a,b,..] "
                "[--thread-counts 1,2,..]\n"
-            << "            [--seeds 1,2,..] [--repeat N] [run options]\n"
+            << "            [--scheds lifo,delta,bound] [--seeds 1,2,..] "
+               "[--repeat N]\n"
+            << "            [run options]\n"
             << "  generate  --family "
                "chain|cycle|clique|star|grid|er|ba|ws|rmat|regular|worst\n"
             << "            [--n N] [--m M] [--k K] [--beta B] [--seed S] "
@@ -121,10 +124,13 @@ std::string detail_of(const api::DecomposeReport& report) {
     }
     std::string operator()(const api::AsyncExtras& extras) const {
       return "threads=" + std::to_string(extras.threads_used) +
+             " sched=" + std::string(api::to_string(extras.sched)) +
              " relaxations=" + std::to_string(extras.relaxations) +
+             " skipped=" + std::to_string(extras.skipped_recomputes) +
              " steals=" + std::to_string(extras.steals) +
              " re_enqueues=" + std::to_string(extras.re_enqueues) +
              " detector_passes=" + std::to_string(extras.detector_passes) +
+             " pop_scans=" + std::to_string(extras.pop_scans) +
              " run=" + util::fmt_double(extras.run_ms, 1) + "ms";
     }
   };
@@ -401,6 +407,16 @@ int cmd_sweep(const util::Args& args) {
           static_cast<unsigned>(std::stoul(item)));
     }
   }
+  if (const auto scheds = args.get("scheds")) {
+    for (const auto& item : split_csv(*scheds)) {
+      const auto parsed = core::parse_sched_policy(item);
+      KCORE_CHECK_MSG(parsed.has_value(),
+                      "--scheds '" << item
+                                   << "' is not a scheduling policy; "
+                                   << "accepted: lifo, delta, bound");
+      spec.scheds.push_back(*parsed);
+    }
+  }
   if (const auto seeds = args.get("seeds")) {
     for (const auto& item : split_csv(*seeds)) {
       spec.seeds.push_back(std::stoull(item));
@@ -415,21 +431,26 @@ int cmd_sweep(const util::Args& args) {
     return 2;
   }
 
-  util::TableWriter table({"algo", "threads", "seed", "reps", "prepare ms",
-                           "first ms", "warm med", "min", "med", "max",
-                           "rounds", "messages"});
+  util::TableWriter table({"algo", "threads", "sched", "seed", "reps",
+                           "prepare ms", "first ms", "warm med", "min",
+                           "med", "max", "rounds", "messages"});
   const auto results = plan.run();
   const auto& registry = api::ProtocolRegistry::instance();
   for (const auto& cell : results) {
     const bool has_warm = cell.warm_wall_ms.count > 0;
-    // "-" where the Plan collapsed the threads axis (protocol has no
-    // worker pool); "0" would read as "one worker per hardware thread".
+    // "-" where the Plan collapsed the threads/sched axis (protocol has
+    // no worker pool / no schedulable pool); "0" would read as "one
+    // worker per hardware thread".
     const bool threaded = registry.contains(cell.cell.protocol) &&
                           registry.entry(cell.cell.protocol)
                               .capabilities.consumes_threads;
+    const bool scheduled = registry.contains(cell.cell.protocol) &&
+                           registry.entry(cell.cell.protocol)
+                               .capabilities.consumes_sched;
     table.add_row(
         {cell.cell.protocol,
          threaded ? std::to_string(cell.cell.threads) : "-",
+         scheduled ? std::string(api::to_string(cell.cell.sched)) : "-",
          std::to_string(cell.cell.seed), std::to_string(cell.repeats),
          util::fmt_double(cell.prepare_ms, 2),
          util::fmt_double(cell.first_wall_ms, 2),
