@@ -1,0 +1,15 @@
+// Umbrella header for the chk layer.
+//
+//   chk/sync.h   — RealSync: the zero-overhead production backend.
+//   chk/model.h  — the operational C++11 memory model.
+//   chk/sched.h  — explore()/replay(), ModelSync, require(), yield().
+//   chk/mutate.h — the memory-order mutation harness.
+//
+// Production code includes only chk/sync.h (and pays nothing for it);
+// checker tests include this.
+#pragma once
+
+#include "chk/model.h"   // IWYU pragma: export
+#include "chk/mutate.h"  // IWYU pragma: export
+#include "chk/sched.h"   // IWYU pragma: export
+#include "chk/sync.h"    // IWYU pragma: export

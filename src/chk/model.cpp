@@ -1,0 +1,366 @@
+// Model transitions for the chk checker. See chk/model.h for the memory
+// model these implement and chk/runtime.h for the execution token that
+// serializes every call.
+
+#include "chk/model.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "chk/runtime.h"
+
+namespace kcore::chk {
+
+namespace detail {
+
+namespace {
+
+bool is_acquire(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+         mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+}
+
+bool is_release(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+const char* order_name(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_relaxed: return "rlx";
+    case std::memory_order_consume: return "csm";
+    case std::memory_order_acquire: return "acq";
+    case std::memory_order_release: return "rel";
+    case std::memory_order_acq_rel: return "a/r";
+    case std::memory_order_seq_cst: return "sc";
+  }
+  return "?";
+}
+
+Runtime& runtime() {
+  Runtime* rt = Runtime::current();
+  if (rt == nullptr) {
+    throw std::logic_error(
+        "chk model operation outside explore() — ModelSync-backed objects "
+        "must be built and used inside an explored program");
+  }
+  return *rt;
+}
+
+/// Oldest store this thread may still read: nothing it has already
+/// observed there, nothing overwritten by a store that happens-before the
+/// reader, and for seq_cst reads nothing older than the newest seq_cst
+/// store.
+int visibility_floor(const Location& loc, const ThreadMem& mem, int thread,
+                     bool sc_read) {
+  int floor = loc.seen[static_cast<unsigned>(thread)];
+  for (int i = static_cast<int>(loc.stores.size()) - 1; i > floor; --i) {
+    if (loc.stores[static_cast<unsigned>(i)].hb.leq(mem.vc)) {
+      floor = i;
+      break;
+    }
+  }
+  if (sc_read && loc.last_sc_store > floor) floor = loc.last_sc_store;
+  return floor;
+}
+
+/// Acquire side of a read that observed `store` under effective order
+/// `mo`: synchronize now, or park the store's release clock for a later
+/// acquire fence.
+void absorb_read(ThreadMem& mem, const Store& store, std::memory_order mo) {
+  if (is_acquire(mo)) {
+    mem.vc.join(store.release);
+  } else {
+    mem.pending_acq.join(store.release);
+  }
+}
+
+/// Release clock a new store under effective order `mo` carries: the
+/// thread's clock for release stores, its last release fence for relaxed
+/// ones.
+VectorClock release_clock(const ThreadMem& mem, std::memory_order mo) {
+  return is_release(mo) ? mem.vc : mem.fence_rel;
+}
+
+void couple_sc(Model& model, ThreadMem& mem) {
+  // Both-ways join with the global SC clock: the documented
+  // over-approximation that turns SC's total order into happens-before.
+  mem.vc.join(model.sc_clock);
+  model.sc_clock.join(mem.vc);
+}
+
+void append_store(Model& model, Location& loc, ThreadMem& mem, int thread,
+                  std::uint64_t value, std::memory_order mo,
+                  VectorClock extra_release) {
+  Store store;
+  store.value = value;
+  store.release = release_clock(mem, mo);
+  store.release.join(extra_release);
+  store.hb = mem.vc;
+  store.thread = thread;
+  store.seq_cst = mo == std::memory_order_seq_cst;
+  loc.stores.push_back(store);
+  const int idx = static_cast<int>(loc.stores.size()) - 1;
+  loc.seen[static_cast<unsigned>(thread)] = idx;
+  if (store.seq_cst) {
+    loc.last_sc_store = idx;
+    couple_sc(model, mem);
+  }
+}
+
+[[noreturn]] void race(Model& model, const Location& loc, const char* kind,
+                       const char* prior_site, const char* site) {
+  std::ostringstream os;
+  os << "data race (" << kind << ") on plain location '" << loc.name
+     << "': access at '" << (site != nullptr ? site : "?")
+     << "' is unordered with prior access at '"
+     << (prior_site != nullptr ? prior_site : "?") << "'";
+  (void)model;  // the trampoline appends the event log when it catches this
+  throw Violation{os.str()};
+}
+
+}  // namespace
+
+Location* register_location(std::uint64_t init, const char* name, bool plain) {
+  Runtime& rt = runtime();
+  return rt.model().make_location(init, name, plain);
+}
+
+std::uint64_t atomic_load(Location* loc, std::memory_order mo,
+                          const char* site) {
+  Runtime& rt = runtime();
+  Model& model = rt.model();
+  const std::memory_order eff = model.effective(site, mo, false).order;
+  rt.schedule_point(false);
+  const int t = Runtime::current_thread();
+  ThreadMem& mem = model.mem(t);
+  ++mem.vc.c[static_cast<unsigned>(t)];
+
+  const bool sc = eff == std::memory_order_seq_cst;
+  if (sc) couple_sc(model, mem);
+  const int floor = visibility_floor(*loc, mem, t, sc);
+  const int newest = static_cast<int>(loc->stores.size()) - 1;
+  const std::size_t span = static_cast<std::size_t>(newest - floor) + 1;
+  const int idx = newest - static_cast<int>(rt.choose_value(span));
+  const Store& store = loc->stores[static_cast<unsigned>(idx)];
+  absorb_read(mem, store, eff);
+  if (idx > loc->seen[static_cast<unsigned>(t)]) {
+    loc->seen[static_cast<unsigned>(t)] = idx;
+  }
+  model.log({t, 'L', site, loc->name.c_str(), eff, store.value});
+  return store.value;
+}
+
+void atomic_store(Location* loc, std::uint64_t value, std::memory_order mo,
+                  const char* site) {
+  Runtime& rt = runtime();
+  Model& model = rt.model();
+  const std::memory_order eff = model.effective(site, mo, false).order;
+  rt.schedule_point(false);
+  const int t = Runtime::current_thread();
+  ThreadMem& mem = model.mem(t);
+  ++mem.vc.c[static_cast<unsigned>(t)];
+  append_store(model, *loc, mem, t, value, eff, VectorClock{});
+  model.log({t, 'S', site, loc->name.c_str(), eff, value});
+}
+
+std::uint64_t atomic_rmw(Location* loc, std::uint64_t add,
+                         const std::uint64_t* exchange_value,
+                         std::memory_order mo, const char* site) {
+  Runtime& rt = runtime();
+  Model& model = rt.model();
+  const std::memory_order eff = model.effective(site, mo, false).order;
+  rt.schedule_point(false);
+  const int t = Runtime::current_thread();
+  ThreadMem& mem = model.mem(t);
+  ++mem.vc.c[static_cast<unsigned>(t)];
+
+  // RMW atomicity: always reads the newest store in modification order.
+  const Store read = loc->stores.back();
+  absorb_read(mem, read, eff);
+  const std::uint64_t old = read.value;
+  const std::uint64_t next =
+      exchange_value != nullptr ? *exchange_value : old + add;
+  // Release-sequence continuation: the RMW's store also carries the clock
+  // of the store it read, so acquire readers downstream of a chain of
+  // RMWs still synchronize with the original release — the rule the
+  // all-RMW in-queue-flag handshake leans on.
+  append_store(model, *loc, mem, t, next, eff, read.release);
+  model.log({t, 'M', site, loc->name.c_str(), eff, next});
+  return old;
+}
+
+bool atomic_cas(Location* loc, std::uint64_t& expected, std::uint64_t desired,
+                std::memory_order success, std::memory_order failure,
+                const char* site) {
+  Runtime& rt = runtime();
+  Model& model = rt.model();
+  const std::memory_order eff_ok = model.effective(site, success, false).order;
+  const std::memory_order eff_fail =
+      model.effective(site, failure, false).order;
+  rt.schedule_point(false);
+  const int t = Runtime::current_thread();
+  ThreadMem& mem = model.mem(t);
+  ++mem.vc.c[static_cast<unsigned>(t)];
+
+  // Reads the newest store either way; a failed CAS is a load of the
+  // latest value (an allowed — if maximally fresh — outcome).
+  const Store read = loc->stores.back();
+  if (read.value == expected) {
+    absorb_read(mem, read, eff_ok);
+    append_store(model, *loc, mem, t, desired, eff_ok, read.release);
+    model.log({t, 'C', site, loc->name.c_str(), eff_ok, desired});
+    return true;
+  }
+  absorb_read(mem, read, eff_fail);
+  const int newest = static_cast<int>(loc->stores.size()) - 1;
+  if (newest > loc->seen[static_cast<unsigned>(t)]) {
+    loc->seen[static_cast<unsigned>(t)] = newest;
+  }
+  expected = read.value;
+  model.log({t, 'C', site, loc->name.c_str(), eff_fail, read.value});
+  return false;
+}
+
+void thread_fence(std::memory_order mo, const char* site) {
+  Runtime& rt = runtime();
+  Model& model = rt.model();
+  const Model::Applied applied = model.effective(site, mo, true);
+  rt.schedule_point(false);
+  const int t = Runtime::current_thread();
+  ThreadMem& mem = model.mem(t);
+  ++mem.vc.c[static_cast<unsigned>(t)];
+  if (applied.drop) {
+    model.log({t, 'F', site, "(dropped)", applied.order, 0});
+    return;
+  }
+  const std::memory_order eff = applied.order;
+  if (is_acquire(eff)) {
+    // Claim the release clocks of every store this thread read relaxed.
+    mem.vc.join(mem.pending_acq);
+    mem.pending_acq = VectorClock{};
+  }
+  if (is_release(eff)) mem.fence_rel = mem.vc;
+  if (eff == std::memory_order_seq_cst) couple_sc(model, mem);
+  model.log({t, 'F', site, "-", eff, 0});
+}
+
+void plain_access(Location* loc, bool is_write, const char* site) {
+  Runtime& rt = runtime();
+  Model& model = rt.model();
+  rt.schedule_point(false);
+  const int t = Runtime::current_thread();
+  ThreadMem& mem = model.mem(t);
+  ++mem.vc.c[static_cast<unsigned>(t)];
+
+  const unsigned ut = static_cast<unsigned>(t);
+  if (loc->has_write && loc->write_thread != t &&
+      loc->write_tick > mem.vc.c[static_cast<unsigned>(loc->write_thread)]) {
+    race(model, *loc, is_write ? "write after write" : "read after write",
+         loc->write_site, site);
+  }
+  if (is_write) {
+    for (unsigned u = 0; u < kMaxThreads; ++u) {
+      if (u == ut || loc->read_ticks[u] == 0) continue;
+      if (loc->read_ticks[u] > mem.vc.c[u]) {
+        race(model, *loc, "write after read", loc->last_read_site, site);
+      }
+    }
+    loc->has_write = true;
+    loc->write_thread = t;
+    loc->write_tick = mem.vc.c[ut];
+    loc->write_site = site;
+    loc->read_ticks.fill(0);
+  } else {
+    loc->read_ticks[ut] = mem.vc.c[ut];
+    loc->last_read_site = site;
+  }
+  model.log({t, is_write ? 'w' : 'r', site, loc->name.c_str(),
+             std::memory_order_relaxed, 0});
+}
+
+std::uint64_t peek_latest(const Location* loc) {
+  return loc->stores.back().value;
+}
+
+bool model_active() { return Runtime::current() != nullptr; }
+
+}  // namespace detail
+
+// --- Model -----------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kLogCap = 256;
+}  // namespace
+
+Model::Model(MutationSet mutations)
+    : mutations_(std::move(mutations)), hits_(mutations_.size(), 0) {
+  log_.reserve(kLogCap);
+}
+
+detail::Location* Model::make_location(std::uint64_t init, const char* name,
+                                       bool plain) {
+  detail::Location& loc = locations_.emplace_back();
+  loc.name = name != nullptr ? name : "?";
+  loc.plain = plain;
+  // The initializing store: visible to everyone downstream of the
+  // constructor (thread spawn inherits the constructor's clock, exactly
+  // like real construct-then-share publication).
+  const int t = detail::Runtime::current_thread();
+  detail::ThreadMem& mem = mem_[static_cast<unsigned>(t)];
+  ++mem.vc.c[static_cast<unsigned>(t)];
+  detail::Store store;
+  store.value = init;
+  store.release = mem.vc;
+  store.hb = mem.vc;
+  store.thread = t;
+  loc.stores.push_back(store);
+  loc.seen[static_cast<unsigned>(t)] = 0;
+  return &loc;
+}
+
+Model::Applied Model::effective(const char* site, std::memory_order mo,
+                                bool is_fence) {
+  Applied applied{mo, false};
+  if (site == nullptr) return applied;
+  for (std::size_t i = 0; i < mutations_.size(); ++i) {
+    const Mutation& m = mutations_[i];
+    if (m.site != site) continue;
+    ++hits_[i];
+    if (m.kind == Mutation::Kind::kDropFence) {
+      applied.drop = is_fence;  // only a fence can be dropped
+      applied.order = std::memory_order_relaxed;
+    } else {
+      applied.order = m.to;
+    }
+  }
+  return applied;
+}
+
+void Model::log(const detail::Event& e) {
+  if (log_.size() < kLogCap) {
+    log_.push_back(e);
+  } else {
+    log_[log_next_] = e;
+    log_next_ = (log_next_ + 1) % kLogCap;
+  }
+}
+
+std::string Model::dump_log(std::size_t tail) const {
+  std::ostringstream os;
+  os << "--- event log (oldest first, last " << std::min(tail, log_.size())
+     << " of " << log_.size() << " buffered) ---";
+  const std::size_t n = log_.size();
+  const std::size_t shown = std::min(tail, n);
+  for (std::size_t k = n - shown; k < n; ++k) {
+    const detail::Event& e = log_[(log_next_ + k) % n];
+    os << "\n  t" << e.thread << ' ' << e.op << ' '
+       << (e.site != nullptr ? e.site : "-") << " @"
+       << (e.loc != nullptr ? e.loc : "-") << ' '
+       << detail::order_name(e.order) << " val=" << e.value;
+  }
+  return os.str();
+}
+
+}  // namespace kcore::chk

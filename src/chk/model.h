@@ -1,0 +1,166 @@
+// The chk execution model: an operational approximation of the C++11
+// memory model precise enough to make every ordering annotation in the
+// lock-free core falsifiable.
+//
+// Per atomic location the model keeps the full MODIFICATION ORDER — every
+// store ever made, each stamped with the storing thread's vector clock
+// (`hb`, for visibility pruning) and the clock an acquire reader inherits
+// (`release`: the thread's clock for release/seq_cst stores, the clock of
+// its last release fence for relaxed stores, joined with the clock of the
+// store an RMW read — the release-sequence rule that makes the all-RMW
+// in-queue-flag protocol sound). A LOAD does not simply return the newest
+// value: the scheduler picks among every store the C++ coherence rules
+// still allow —
+//   * nothing older than what this thread already read or wrote there,
+//   * nothing overwritten by a store that happens-before the load,
+//   * for seq_cst loads, nothing older than the latest seq_cst store
+//     (the SC-order restriction),
+// so a weakened ordering widens the stale-read menu and the explorer
+// walks straight into the executions the original ordering excluded.
+// RMWs always read the newest store (RMW atomicity) and extend its
+// release sequence. seq_cst operations and fences join the global SC
+// clock both ways — a deliberate over-approximation (C++ gives SC a total
+// order, not happens-before edges between unrelated locations); the model
+// is therefore slightly STRONGER than the standard: every behavior it
+// exhibits is allowed, a few allowed behaviors it cannot exhibit. For
+// catching dropped/weakened orderings that is the safe direction, and the
+// mutation suite (tests/test_chk_mutants.cpp) pins that the bugs we care
+// about are still reachable.
+//
+// PLAIN (non-atomic) shared accesses go through PlainGuard markers and a
+// FastTrack-style vector-clock race check: a conflicting pair with no
+// happens-before edge is reported on the schedule that exposes it even
+// when the values happen to come out right.
+//
+// Every operation is appended to a bounded event log (thread, op, site,
+// order, value) that is dumped when an invariant trips — the failure
+// report shows the exact interleaving prefix, not just the assertion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "chk/mutate.h"
+#include "chk/vclock.h"
+
+namespace kcore::chk {
+
+namespace detail {
+
+struct Store {
+  std::uint64_t value = 0;
+  VectorClock release;  // what an acquire reader joins
+  VectorClock hb;       // storer's clock at the store (visibility pruning)
+  int thread = -1;
+  bool seq_cst = false;
+};
+
+struct Location {
+  std::string name;
+  bool plain = false;
+
+  // Atomic state: the modification order.
+  std::vector<Store> stores;
+  int last_sc_store = 0;  // index of the newest seq_cst store (0 = none)
+  std::array<int, kMaxThreads> seen{};  // per-thread coherence floor
+
+  // Plain state: FastTrack-style epochs for the race checker.
+  bool has_write = false;
+  int write_thread = -1;
+  std::uint32_t write_tick = 0;
+  const char* write_site = nullptr;
+  std::array<std::uint32_t, kMaxThreads> read_ticks{};
+  const char* last_read_site = nullptr;
+};
+
+struct ThreadMem {
+  VectorClock vc;           // the thread's happens-before clock
+  VectorClock fence_rel;    // clock at the last release/seq_cst fence
+  VectorClock pending_acq;  // release clocks of relaxed-read stores,
+                            // claimed by the next acquire fence
+};
+
+struct Event {
+  int thread = 0;
+  char op = '?';  // L load, S store, M rmw, C cas, F fence, r/w plain
+  const char* site = nullptr;
+  const char* loc = nullptr;
+  std::memory_order order = std::memory_order_relaxed;
+  std::uint64_t value = 0;
+};
+
+/// Model-operation entry points used by ModelSync (chk/chk.h). All of
+/// them run under the scheduler's single execution token; each one is a
+/// schedule point first, then a model transition. They throw
+/// chk::Violation on a detected race and chk::ExecutionAborted while an
+/// execution is being unwound — which is why the Sync-parameterized
+/// primitives declare noexcept(!Sync::kInstrumented).
+Location* register_location(std::uint64_t init, const char* name, bool plain);
+std::uint64_t atomic_load(Location* loc, std::memory_order mo,
+                          const char* site);
+void atomic_store(Location* loc, std::uint64_t value, std::memory_order mo,
+                  const char* site);
+/// RMW: new_value = old + add (wrapping) unless `exchange_value` is set,
+/// in which case new_value = *exchange_value. Returns the old value.
+std::uint64_t atomic_rmw(Location* loc, std::uint64_t add,
+                         const std::uint64_t* exchange_value,
+                         std::memory_order mo, const char* site);
+bool atomic_cas(Location* loc, std::uint64_t& expected, std::uint64_t desired,
+                std::memory_order success, std::memory_order failure,
+                const char* site);
+void thread_fence(std::memory_order mo, const char* site);
+void plain_access(Location* loc, bool is_write, const char* site);
+
+/// Ground-truth peek: the newest value in modification order, with no
+/// clock effects, no schedule point, no coherence update. For invariant
+/// oracles only (e.g. "the detector confirmed while the true outstanding
+/// count was nonzero").
+std::uint64_t peek_latest(const Location* loc);
+
+/// True while the calling OS thread is inside an explore() execution
+/// (init context or a virtual thread).
+bool model_active();
+
+}  // namespace detail
+
+/// The per-execution model state. Owned and reset by the explorer; test
+/// code never touches it directly.
+class Model {
+ public:
+  explicit Model(MutationSet mutations);
+
+  detail::Location* make_location(std::uint64_t init, const char* name,
+                                  bool plain);
+  detail::ThreadMem& mem(int thread) { return mem_[thread]; }
+
+  /// Mutation lookup: the effective order for an op at `site` (counts the
+  /// hit), or "drop" for an elided fence.
+  struct Applied {
+    std::memory_order order;
+    bool drop = false;
+  };
+  Applied effective(const char* site, std::memory_order mo, bool is_fence);
+
+  void log(const detail::Event& e);
+  [[nodiscard]] std::string dump_log(std::size_t tail = 48) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& mutation_hits() const {
+    return hits_;
+  }
+  [[nodiscard]] const MutationSet& mutations() const { return mutations_; }
+
+  VectorClock sc_clock;
+
+ private:
+  std::deque<detail::Location> locations_;  // stable addresses
+  std::array<detail::ThreadMem, kMaxThreads> mem_{};
+  MutationSet mutations_;
+  std::vector<std::uint64_t> hits_;
+  std::vector<detail::Event> log_;
+  std::size_t log_next_ = 0;  // ring cursor once full
+};
+
+}  // namespace kcore::chk

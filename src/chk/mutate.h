@@ -1,0 +1,49 @@
+// Memory-order mutation harness — the "executable specification" half of
+// the chk layer.
+//
+// Every synchronization operation in the Sync-parameterized primitives
+// carries a site tag ("sd.pop.fence_seq", "wl.begin.xchg_flag", ...). A
+// Mutation names one site and rewrites what the instrumented backend does
+// there: weaken the memory order (seq_cst -> acquire/release -> relaxed)
+// or drop a fence entirely. The checker then explores schedules and
+// stale-read choices; a mutation is CAUGHT when some explored execution
+// violates a protocol invariant (exactly-once handout, no lost wakeup,
+// wrong published value, ...). tests/test_chk_mutants.cpp seeds one
+// mutant per load-bearing ordering and pins that each is caught — so a
+// future edit that weakens a real ordering fails the same way the mutant
+// does, instead of passing TSan on the one schedule CI happens to run.
+//
+// Mutations that fire zero times are reported through
+// Outcome::mutation_hits so a renamed site cannot silently turn a
+// mutation test into a no-op.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace kcore::chk {
+
+struct Mutation {
+  enum class Kind {
+    kWeakenOrder,  // replace the order of every op at `site` with `to`
+    kDropFence,    // elide the fence at `site` entirely
+  };
+
+  std::string site;
+  Kind kind = Kind::kWeakenOrder;
+  std::memory_order to = std::memory_order_relaxed;
+
+  static Mutation weaken(std::string site_tag,
+                         std::memory_order order = std::memory_order_relaxed) {
+    return {std::move(site_tag), Kind::kWeakenOrder, order};
+  }
+  static Mutation drop_fence(std::string site_tag) {
+    return {std::move(site_tag), Kind::kDropFence,
+            std::memory_order_relaxed};
+  }
+};
+
+using MutationSet = std::vector<Mutation>;
+
+}  // namespace kcore::chk

@@ -1,0 +1,96 @@
+// Internal: the per-execution runtime behind chk::explore().
+//
+// One Runtime lives for exactly one explored execution. The program's
+// virtual threads run as real OS threads serialized by a single execution
+// token (mutex + condvar + `active_`): only the token holder executes, and
+// every model operation (chk/model.h) calls schedule_point() first, where
+// the strategy may hand the token to another runnable thread. The init
+// context (the program factory and the `finally` check) is virtual thread
+// 0 and runs while no worker vthread holds the token, so its schedule
+// points are no-ops and its loads are single-threaded-deterministic.
+//
+// Not part of the public chk API — include chk/sched.h instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chk/model.h"
+#include "chk/sched.h"
+
+namespace kcore::chk::detail {
+
+/// Schedule/value decisions, implemented by the PCT and DFS strategies in
+/// sched.cpp. All calls are serialized by the execution token.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  /// Reset for execution `index` (PCT reseeds; DFS rewinds its cursor).
+  virtual void begin_execution(std::uint64_t index) = 0;
+  /// Pick the next token holder. `runnable` is ascending and non-empty;
+  /// `current` is -1 when the previous holder just finished. `yielding`
+  /// means the current thread declared itself unable to progress.
+  virtual int pick_next(const std::vector<int>& runnable, int current,
+                        bool yielding) = 0;
+  /// Pick a load's store among `n` coherence-allowed choices; 0 = newest.
+  virtual std::size_t pick_value(std::size_t n) = 0;
+  /// DFS: step to the next unexplored execution; false when exhausted.
+  /// PCT: always true.
+  virtual bool advance() = 0;
+  /// Human-readable decision trace of the last execution.
+  [[nodiscard]] virtual std::string trace() const = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(const Options& options, Strategy& strategy);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  ~Runtime();
+
+  /// Run one execution of the program; returns true on violation and
+  /// leaves the diagnosis in violation_what(). Joins every OS thread
+  /// before returning.
+  bool run(const std::function<Program()>& make_program);
+
+  [[nodiscard]] const std::string& violation_what() const { return what_; }
+  [[nodiscard]] bool hit_step_bound() const { return bounded_; }
+  [[nodiscard]] Model& model() { return *model_; }
+
+  /// The Runtime the calling OS thread is executing under, or nullptr.
+  static Runtime* current();
+  /// Virtual thread id of the caller (0 = init context).
+  static int current_thread();
+
+  // --- called by model operations (token holder only) ---
+  void schedule_point(bool yielding);
+  std::size_t choose_value(std::size_t n);
+
+ private:
+  void trampoline(int id, const std::function<void()>& body);
+  void record_violation(std::string what);
+  [[nodiscard]] std::vector<int> runnable_ids() const;
+
+  const Options& options_;
+  Strategy& strategy_;
+  std::optional<Model> model_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int active_ = 0;  // vthread id holding the execution token
+  unsigned steps_ = 0;
+  bool unwinding_ = false;
+  bool violated_ = false;
+  bool bounded_ = false;
+  std::string what_;
+  std::vector<bool> finished_;  // indexed by vthread id, [0] unused
+  unsigned finished_count_ = 0;
+  unsigned nthreads_ = 0;
+};
+
+}  // namespace kcore::chk::detail

@@ -1,0 +1,424 @@
+// The controlled-schedule explorer: execution token, PCT and exhaustive
+// strategies, and the explore() driver. See chk/sched.h for the public
+// contract and chk/runtime.h for the runtime structure.
+
+#include "chk/sched.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "chk/runtime.h"
+
+namespace kcore::chk {
+
+namespace detail {
+
+namespace {
+
+thread_local Runtime* tl_runtime = nullptr;
+thread_local int tl_thread = 0;
+
+/// splitmix64: tiny, platform-stable, and good enough for schedule
+/// sampling — the same seed replays the same execution on any host.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// --- PCT -------------------------------------------------------------------
+
+class PctStrategy final : public Strategy {
+ public:
+  explicit PctStrategy(const Options& options) : options_(options) {}
+
+  void begin_execution(std::uint64_t index) override {
+    seed_ = options_.seed + index;
+    rng_ = seed_;
+    step_ = 0;
+    low_ = -1;
+    // Random distinct starting priorities via a Fisher–Yates shuffle of
+    // 1..kMaxThreads-1 (higher value = runs first).
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+      prio_[i] = static_cast<int>(i) + 1;
+    }
+    for (unsigned i = kMaxThreads - 1; i > 1; --i) {
+      const unsigned j = 1 + static_cast<unsigned>(splitmix64(rng_) % i);
+      std::swap(prio_[i], prio_[j]);
+    }
+    // d-1 priority-change points sampled over the step horizon.
+    change_.clear();
+    const unsigned d = std::max(1U, options_.pct_depth);
+    for (unsigned k = 0; k + 1 < d; ++k) {
+      change_.push_back(static_cast<unsigned>(
+          splitmix64(rng_) % std::max(1U, options_.pct_horizon)));
+    }
+  }
+
+  int pick_next(const std::vector<int>& runnable, int current,
+                bool yielding) override {
+    ++step_;
+    if (current > 0) {
+      // A change point demotes the running thread below everyone — the
+      // PCT move that buys the depth-d detection guarantee. A yield is
+      // treated the same way: the thread told us it cannot progress.
+      const bool at_change_point =
+          std::find(change_.begin(), change_.end(), step_) != change_.end();
+      if (yielding || at_change_point) prio_[current] = low_--;
+    }
+    int best = runnable.front();
+    for (const int id : runnable) {
+      if (prio_[static_cast<unsigned>(id)] >
+          prio_[static_cast<unsigned>(best)]) {
+        best = id;
+      }
+    }
+    return best;
+  }
+
+  std::size_t pick_value(std::size_t n) override {
+    return static_cast<std::size_t>(splitmix64(rng_) % n);
+  }
+
+  bool advance() override { return true; }
+
+  [[nodiscard]] std::string trace() const override {
+    std::ostringstream os;
+    os << "pct seed=" << seed_ << " depth=" << options_.pct_depth
+       << " (replay: explore with seed=" << seed_ << ", executions=1)";
+    return os.str();
+  }
+
+ private:
+  const Options& options_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t rng_ = 0;
+  unsigned step_ = 0;
+  int low_ = -1;
+  std::array<int, kMaxThreads> prio_{};
+  std::vector<unsigned> change_;
+};
+
+// --- Exhaustive DFS --------------------------------------------------------
+
+class DfsStrategy final : public Strategy {
+ public:
+  explicit DfsStrategy(const Options& options) : options_(options) {}
+
+  void begin_execution(std::uint64_t /*index*/) override {
+    cursor_ = 0;
+    preemptions_ = 0;
+  }
+
+  int pick_next(const std::vector<int>& runnable, int current,
+                bool yielding) override {
+    // Candidate order decides the DFS default path (choice 0). The
+    // current thread runs on unless it yielded; switching away from a
+    // still-runnable, non-yielding thread is a preemption and is only
+    // offered while the preemption budget lasts. Yield-switches are
+    // voluntary — free — which keeps spin loops from exploding the tree.
+    candidates_.clear();
+    const bool current_runnable =
+        current > 0 &&
+        std::find(runnable.begin(), runnable.end(), current) != runnable.end();
+    if (current_runnable && !yielding) {
+      candidates_.push_back(current);
+      if (preemptions_ < options_.preemption_bound) {
+        for (const int id : runnable) {
+          if (id != current) candidates_.push_back(id);
+        }
+      }
+    } else {
+      for (const int id : runnable) {
+        if (yielding && id == current && runnable.size() > 1) continue;
+        candidates_.push_back(id);
+      }
+    }
+    const int pick =
+        candidates_[decide(candidates_.size())];
+    if (current_runnable && !yielding && pick != current) ++preemptions_;
+    return pick;
+  }
+
+  std::size_t pick_value(std::size_t n) override { return decide(n); }
+
+  bool advance() override {
+    // Backtrack: drop exhausted trailing decisions, bump the deepest one
+    // that still has an unexplored branch.
+    while (!stack_.empty() && stack_.back().chosen + 1 >= stack_.back().n) {
+      stack_.pop_back();
+    }
+    if (stack_.empty()) return false;
+    ++stack_.back().chosen;
+    return true;
+  }
+
+  [[nodiscard]] std::string trace() const override {
+    std::ostringstream os;
+    os << "dfs decisions=[";
+    for (std::size_t i = 0; i < cursor_ && i < stack_.size(); ++i) {
+      if (i != 0) os << ' ';
+      os << stack_[i].chosen << '/' << stack_[i].n;
+    }
+    os << ']';
+    return os.str();
+  }
+
+ private:
+  struct Decision {
+    std::size_t n = 0;
+    std::size_t chosen = 0;
+  };
+
+  std::size_t decide(std::size_t n) {
+    if (n <= 1) return 0;  // forced move: not a branch point, keep it off
+                           // the stack so backtracking skips straight past
+    if (cursor_ < stack_.size()) return stack_[cursor_++].chosen;
+    stack_.push_back({n, 0});
+    ++cursor_;
+    return 0;
+  }
+
+  const Options& options_;
+  std::vector<Decision> stack_;
+  std::size_t cursor_ = 0;
+  unsigned preemptions_ = 0;
+  std::vector<int> candidates_;
+};
+
+}  // namespace
+
+// --- Runtime ---------------------------------------------------------------
+
+Runtime::Runtime(const Options& options, Strategy& strategy)
+    : options_(options), strategy_(strategy) {}
+
+Runtime::~Runtime() = default;
+
+Runtime* Runtime::current() { return tl_runtime; }
+int Runtime::current_thread() { return tl_thread; }
+
+std::vector<int> Runtime::runnable_ids() const {
+  std::vector<int> ids;
+  for (unsigned id = 1; id <= nthreads_; ++id) {
+    if (!finished_[id]) ids.push_back(static_cast<int>(id));
+  }
+  return ids;
+}
+
+void Runtime::record_violation(std::string what) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!violated_) {
+    violated_ = true;
+    what_ = std::move(what);
+  }
+  unwinding_ = true;
+  cv_.notify_all();
+}
+
+void Runtime::schedule_point(bool yielding) {
+  const int cur = tl_thread;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (unwinding_) throw ExecutionAborted{};
+  if (cur == 0) return;  // init / finally: single-threaded, nothing to pick
+  if (++steps_ > options_.max_steps) {
+    bounded_ = true;
+    unwinding_ = true;
+    cv_.notify_all();
+    throw ExecutionAborted{};
+  }
+  const std::vector<int> runnable = runnable_ids();
+  if (runnable.size() == 1 && runnable.front() == cur) return;
+  const int next = strategy_.pick_next(runnable, cur, yielding);
+  if (next == cur) return;
+  active_ = next;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return active_ == cur || unwinding_; });
+  if (unwinding_) throw ExecutionAborted{};
+}
+
+std::size_t Runtime::choose_value(std::size_t n) {
+  // Token holder only; no lock needed. Init/finally never see a choice:
+  // after the join (or before the spawn) the visibility floor is the
+  // newest store, so n == 1 there by construction.
+  if (n <= 1) return 0;
+  return strategy_.pick_value(n);
+}
+
+void Runtime::trampoline(int id, const std::function<void()>& body) {
+  tl_runtime = this;
+  tl_thread = id;
+  bool aborted = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return active_ == id || unwinding_; });
+    aborted = unwinding_;
+  }
+  try {
+    if (!aborted) body();
+  } catch (const Violation& v) {
+    record_violation(v.what + "\n" + model_->dump_log());
+  } catch (const ExecutionAborted&) {
+  } catch (const std::exception& e) {
+    record_violation(std::string("uncaught exception in virtual thread: ") +
+                     e.what());
+  } catch (...) {
+    record_violation("uncaught non-std exception in virtual thread");
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  finished_[static_cast<unsigned>(id)] = true;
+  ++finished_count_;
+  const std::vector<int> runnable = runnable_ids();
+  if (!unwinding_ && !runnable.empty()) {
+    active_ = strategy_.pick_next(runnable, /*current=*/-1, false);
+  } else {
+    active_ = 0;  // hand back to the driver
+  }
+  cv_.notify_all();
+  tl_runtime = nullptr;
+  tl_thread = 0;
+}
+
+bool Runtime::run(const std::function<Program()>& make_program) {
+  model_.emplace(options_.mutations);
+  tl_runtime = this;
+  tl_thread = 0;
+
+  {
+    Program program;
+    try {
+      program = make_program();
+      nthreads_ = static_cast<unsigned>(program.threads.size());
+      if (nthreads_ + 1 > kMaxThreads) {
+        throw std::invalid_argument("chk: program exceeds kMaxThreads - 1");
+      }
+    } catch (const Violation& v) {
+      record_violation(v.what + "\n" + model_->dump_log());
+      nthreads_ = 0;
+    }
+
+    if (nthreads_ > 0 && !violated_) {
+      finished_.assign(nthreads_ + 1, false);
+      // Thread creation is a release edge: every vthread starts
+      // downstream of everything the factory did.
+      for (unsigned id = 1; id <= nthreads_; ++id) {
+        model_->mem(static_cast<int>(id)).vc = model_->mem(0).vc;
+      }
+      std::vector<std::thread> os_threads;
+      os_threads.reserve(nthreads_);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        active_ = -1;  // nobody runs until the first pick below
+      }
+      for (unsigned id = 1; id <= nthreads_; ++id) {
+        os_threads.emplace_back(
+            [this, id, body = program.threads[id - 1]]() mutable {
+              trampoline(static_cast<int>(id), body);
+            });
+      }
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        active_ = strategy_.pick_next(runnable_ids(), /*current=*/-1, false);
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return finished_count_ == nthreads_; });
+      }
+      for (std::thread& t : os_threads) t.join();
+      tl_runtime = this;  // the trampolines cleared their own copies
+      tl_thread = 0;
+
+      if (!violated_ && !bounded_ && program.finally) {
+        // Join every vthread's clock: finally observes the whole
+        // execution, like a caller after thread::join.
+        for (unsigned id = 1; id <= nthreads_; ++id) {
+          model_->mem(0).vc.join(model_->mem(static_cast<int>(id)).vc);
+        }
+        try {
+          program.finally();
+        } catch (const Violation& v) {
+          record_violation(v.what + "\n" + model_->dump_log());
+        } catch (const std::exception& e) {
+          record_violation(std::string("uncaught exception in finally: ") +
+                           e.what());
+        }
+      }
+    }
+    // `program` (and every ModelSync-backed structure its closures own)
+    // dies here, before the model it points into.
+  }
+
+  tl_runtime = nullptr;
+  tl_thread = 0;
+  return violated_;
+}
+
+}  // namespace detail
+
+// --- public API ------------------------------------------------------------
+
+void require(bool condition, const char* message) {
+  if (condition) return;
+  throw Violation{std::string("invariant violated: ") +
+                  (message != nullptr ? message : "(unnamed)")};
+}
+
+void yield() {
+  detail::Runtime* rt = detail::Runtime::current();
+  if (rt != nullptr) rt->schedule_point(true);
+}
+
+Outcome explore(const Options& options,
+                const std::function<Program()>& make_program) {
+  Outcome out;
+  for (const Mutation& m : options.mutations) out.mutation_hits[m.site] = 0;
+
+  std::unique_ptr<detail::Strategy> strategy;
+  if (options.mode == Mode::kPct) {
+    strategy = std::make_unique<detail::PctStrategy>(options);
+  } else {
+    strategy = std::make_unique<detail::DfsStrategy>(options);
+  }
+  const std::uint64_t limit = options.mode == Mode::kPct
+                                  ? options.executions
+                                  : options.max_executions;
+
+  for (std::uint64_t exec = 0; exec < limit; ++exec) {
+    strategy->begin_execution(exec);
+    detail::Runtime runtime(options, *strategy);
+    const bool violated = runtime.run(make_program);
+    ++out.executions;
+    if (runtime.hit_step_bound()) ++out.bounded;
+    const std::vector<std::uint64_t>& hits = runtime.model().mutation_hits();
+    for (std::size_t i = 0; i < options.mutations.size(); ++i) {
+      out.mutation_hits[options.mutations[i].site] += hits[i];
+    }
+    if (violated) {
+      out.violation = true;
+      out.what = runtime.violation_what();
+      out.trace = strategy->trace();
+      out.replay_seed =
+          options.mode == Mode::kPct ? options.seed + exec : options.seed;
+      break;
+    }
+    if (options.mode == Mode::kExhaustive && !strategy->advance()) {
+      out.exhausted = true;
+      break;
+    }
+  }
+  return out;
+}
+
+Outcome replay(Options options, std::uint64_t replay_seed,
+               const std::function<Program()>& make_program) {
+  options.mode = Mode::kPct;
+  options.seed = replay_seed;
+  options.executions = 1;
+  return explore(options, make_program);
+}
+
+}  // namespace kcore::chk

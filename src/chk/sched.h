@@ -1,0 +1,231 @@
+// The chk controlled-schedule explorer.
+//
+// explore() runs a small multi-threaded PROGRAM — built fresh for every
+// execution by the caller's factory — under a deterministic cooperative
+// scheduler: the program's threads run as real OS threads, but a single
+// execution token serializes them, and every instrumented synchronization
+// operation (see chk/model.h) is a schedule point where a STRATEGY
+// decides who runs next and which coherence-allowed store a load reads.
+// Two strategies:
+//
+//  * PCT (probabilistic concurrency testing): seeded random priorities
+//    with `pct_depth - 1` priority-change points — O(1) per step, finds
+//    depth-d bugs with known probability, and a failing execution is
+//    fully reproduced by its seed (Outcome::replay_seed + replay()).
+//  * Exhaustive: depth-first enumeration of every schedule (and every
+//    allowed stale read) up to a preemption bound, for 2–3 thread litmus
+//    configurations. Deterministic — re-running the same options replays
+//    the same failing execution.
+//
+// Invariants are asserted with chk::require() inside thread bodies or the
+// final check; the model's own vector-clock race checker fires on
+// unordered conflicting plain accesses regardless of values. A violation
+// aborts the execution, unwinds every virtual thread, and is returned in
+// Outcome together with the tail of the event log and the decision trace.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "chk/model.h"
+#include "chk/mutate.h"
+
+namespace kcore::chk {
+
+/// Thrown by chk::require (and the model's race checker) to abort the
+/// current execution with a diagnosis.
+struct Violation {
+  std::string what;
+};
+
+/// Thrown by schedule points while an execution unwinds (after a
+/// violation, a step-bound overrun, or exploration shutdown). Virtual
+/// thread bodies must let it propagate.
+struct ExecutionAborted {};
+
+/// One explored program: thread bodies plus an optional final check that
+/// runs single-threaded after every body finished (it observes the joined
+/// state, like a caller after thread::join).
+struct Program {
+  std::vector<std::function<void()>> threads;
+  std::function<void()> finally;
+};
+
+enum class Mode {
+  kPct,
+  kExhaustive,
+};
+
+struct Options {
+  Mode mode = Mode::kPct;
+
+  // PCT: `executions` runs with per-execution seed = seed + index.
+  std::uint64_t seed = 1;
+  std::uint64_t executions = 400;
+  unsigned pct_depth = 3;
+  /// Range the priority-change points are sampled from; roughly the
+  /// expected step count of one execution.
+  unsigned pct_horizon = 256;
+
+  // Exhaustive: DFS over schedule + stale-read choices.
+  unsigned preemption_bound = 2;
+  std::uint64_t max_executions = 50000;
+
+  /// Per-execution step budget (schedule points). Overruns mark the
+  /// execution `bounded`, never a violation — spin loops that the chosen
+  /// schedule starves are expected under controlled scheduling.
+  unsigned max_steps = 3000;
+
+  MutationSet mutations;
+};
+
+struct Outcome {
+  bool violation = false;
+  std::string what;    // first violation + event-log tail
+  std::string trace;   // decision trace of the failing execution
+  std::uint64_t executions = 0;
+  std::uint64_t bounded = 0;  // executions cut off by max_steps
+  /// True when exhaustive mode enumerated the whole (bounded) space
+  /// before max_executions ran out.
+  bool exhausted = false;
+  /// Seed that reproduces the failing execution in PCT mode: re-run with
+  /// seed = replay_seed, executions = 1.
+  std::uint64_t replay_seed = 0;
+  /// site -> times the mutation at that site actually rewrote an op. A
+  /// zero here means the mutation never fired (e.g. renamed site) — the
+  /// mutation tests assert every seeded mutant was exercised.
+  std::map<std::string, std::uint64_t> mutation_hits;
+};
+
+/// Explore the program under the options; stops at the first violation.
+/// The factory runs once per execution, in the init context — everything
+/// it builds (ModelAtomic-backed structures included) is torn down after
+/// the execution ends.
+Outcome explore(const Options& options,
+                const std::function<Program()>& make_program);
+
+/// One-line repro for a PCT failure: explore with executions=1 and
+/// seed=replay_seed (all other options as in the original run).
+Outcome replay(Options options, std::uint64_t replay_seed,
+               const std::function<Program()>& make_program);
+
+/// Assert a protocol invariant inside a thread body or final check.
+void require(bool condition, const char* message);
+
+/// Cooperative spin-wait hint: a schedule point that tells the strategy
+/// this thread cannot make progress until someone else runs.
+void yield();
+
+// ---------------------------------------------------------------------------
+// ModelSync — the instrumented backend the primitives are instantiated
+// over in chk tests. Same surface as chk::RealSync (chk/sync.h).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class ModelAtomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "the model packs values into 64 bits");
+
+ public:
+  ModelAtomic() : ModelAtomic(T{}) {}
+  explicit ModelAtomic(T v, const char* name = "atomic")
+      : loc_(detail::register_location(to_u(v), name, /*plain=*/false)) {}
+
+  ModelAtomic(const ModelAtomic&) = delete;
+  ModelAtomic& operator=(const ModelAtomic&) = delete;
+
+  T load(std::memory_order mo, const char* site = nullptr) const {
+    return from_u(detail::atomic_load(loc_, mo, site));
+  }
+  void store(T v, std::memory_order mo, const char* site = nullptr) {
+    detail::atomic_store(loc_, to_u(v), mo, site);
+  }
+  T exchange(T v, std::memory_order mo, const char* site = nullptr) {
+    const std::uint64_t desired = to_u(v);
+    return from_u(detail::atomic_rmw(loc_, 0, &desired, mo, site));
+  }
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure,
+                               const char* site = nullptr) {
+    std::uint64_t exp = to_u(expected);
+    const bool ok =
+        detail::atomic_cas(loc_, exp, to_u(desired), success, failure, site);
+    expected = from_u(exp);
+    return ok;
+  }
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure,
+                             const char* site = nullptr) {
+    // Modeled as strong: spurious failure adds schedules without adding
+    // reachable states (the retry loop re-executes the same transition).
+    return compare_exchange_strong(expected, desired, success, failure, site);
+  }
+  T fetch_add(T v, std::memory_order mo, const char* site = nullptr) {
+    return from_u(detail::atomic_rmw(loc_, to_u(v), nullptr, mo, site));
+  }
+  T fetch_sub(T v, std::memory_order mo, const char* site = nullptr) {
+    return from_u(
+        detail::atomic_rmw(loc_, ~to_u(v) + 1, nullptr, mo, site));
+  }
+
+  /// Ground-truth oracle: newest value in modification order, no clock
+  /// effects, no schedule point. Invariant checks only.
+  [[nodiscard]] T debug_latest() const {
+    return from_u(detail::peek_latest(loc_));
+  }
+
+ private:
+  static std::uint64_t to_u(T v) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(T));
+    return u;
+  }
+  static T from_u(std::uint64_t u) {
+    T v;
+    std::memcpy(&v, &u, sizeof(T));
+    return v;
+  }
+
+  detail::Location* loc_;
+};
+
+struct ModelSync {
+  static constexpr bool kInstrumented = true;
+
+  template <typename T>
+  using Atomic = ModelAtomic<T>;
+
+  static void fence(std::memory_order mo, const char* site = nullptr) {
+    detail::thread_fence(mo, site);
+  }
+
+  struct PlainGuard {
+    PlainGuard()
+        : loc_(detail::register_location(0, "plain", /*plain=*/true)) {}
+    // Containers of guarded slots (e.g. MailboxMatrix) copy/move elements
+    // while being BUILT, before any guarded access: a copy guards a new
+    // object, so it registers a fresh location instead of aliasing.
+    PlainGuard(const PlainGuard&) : PlainGuard() {}
+    PlainGuard& operator=(const PlainGuard&) { return *this; }
+    void note_read(const char* site = nullptr) {
+      detail::plain_access(loc_, /*is_write=*/false, site);
+    }
+    void note_write(const char* site = nullptr) {
+      detail::plain_access(loc_, /*is_write=*/true, site);
+    }
+
+   private:
+    detail::Location* loc_;
+  };
+
+  static void spin_hint() { yield(); }
+};
+
+}  // namespace kcore::chk

@@ -1,0 +1,111 @@
+// The synchronization shim the lock-free core is parameterized over.
+//
+// Every hand-rolled lock-free structure in this repo (par::StealDeque,
+// par::PriorityPool, par::BasicAsyncWorklist, par::MailboxMatrix,
+// core::BasicQuiescenceDetector) takes a `Sync` template parameter whose
+// default is the `RealSync` passthrough below. RealSync::Atomic<T> IS a
+// std::atomic<T> (same size, same layout, inherited operations), so
+// release builds compile to exactly the code they compiled to before the
+// parameterization — the only additions are overloads that accept and
+// discard a SITE TAG, a string literal naming the call site
+// ("sd.pop.fence_seq", "qd.confirm.store_done", ...).
+//
+// The tags are the executable form of the memory-ordering comments: the
+// instrumented backend (chk::ModelSync in chk/chk.h) logs every
+// load/store/RMW/fence with its site and order, lets the model checker
+// explore which store each load reads, and lets the mutation harness
+// weaken a single named ordering (seq_cst -> acquire/release -> relaxed,
+// or drop a named fence) to prove the checker would catch the bug that
+// ordering prevents. Production code never links the model backend; the
+// static_asserts at the bottom pin the passthrough's zero-cost contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace kcore::chk {
+
+/// Zero-overhead default backend: std::atomic + std::atomic_thread_fence,
+/// site tags discarded at compile time.
+struct RealSync {
+  static constexpr bool kInstrumented = false;
+
+  template <typename T>
+  struct Atomic : std::atomic<T> {
+    using std::atomic<T>::atomic;
+    constexpr Atomic(T v, const char* /*name*/) noexcept
+        : std::atomic<T>(v) {}
+
+    using std::atomic<T>::load;
+    using std::atomic<T>::store;
+    using std::atomic<T>::exchange;
+    using std::atomic<T>::compare_exchange_strong;
+    using std::atomic<T>::compare_exchange_weak;
+
+    T load(std::memory_order mo, const char* /*site*/) const noexcept {
+      return std::atomic<T>::load(mo);
+    }
+    void store(T v, std::memory_order mo, const char* /*site*/) noexcept {
+      std::atomic<T>::store(v, mo);
+    }
+    T exchange(T v, std::memory_order mo, const char* /*site*/) noexcept {
+      return std::atomic<T>::exchange(v, mo);
+    }
+    bool compare_exchange_strong(T& expected, T desired,
+                                 std::memory_order success,
+                                 std::memory_order failure,
+                                 const char* /*site*/) noexcept {
+      return std::atomic<T>::compare_exchange_strong(expected, desired,
+                                                     success, failure);
+    }
+    bool compare_exchange_weak(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure,
+                               const char* /*site*/) noexcept {
+      return std::atomic<T>::compare_exchange_weak(expected, desired, success,
+                                                   failure);
+    }
+    T fetch_add(T v, std::memory_order mo, const char* /*site*/) noexcept {
+      return std::atomic<T>::fetch_add(v, mo);
+    }
+    T fetch_sub(T v, std::memory_order mo, const char* /*site*/) noexcept {
+      return std::atomic<T>::fetch_sub(v, mo);
+    }
+  };
+
+  static void fence(std::memory_order mo, const char* /*site*/ = nullptr) noexcept {
+    std::atomic_thread_fence(mo);
+  }
+
+  /// Marker for PLAIN (non-atomic) shared data whose synchronization is
+  /// external (e.g. the mailbox matrix, ordered by the round barrier).
+  /// The passthrough marker is empty; the instrumented one runs a
+  /// vector-clock race check on every note_read/note_write, so an
+  /// unordered conflicting access is flagged even on schedules where the
+  /// torn value never surfaces.
+  struct PlainGuard {
+    void note_read(const char* /*site*/ = nullptr) noexcept {}
+    void note_write(const char* /*site*/ = nullptr) noexcept {}
+  };
+
+  /// Spin-wait hint (cooperative yield point under the model scheduler;
+  /// a no-op on real hardware — callers pair it with their own backoff).
+  static void spin_hint() noexcept {}
+};
+
+// The passthrough's zero-cost contract: an Atomic<T> is layout-identical
+// to the std::atomic<T> it replaces, and the guard adds no state.
+static_assert(sizeof(RealSync::Atomic<std::uint8_t>) ==
+              sizeof(std::atomic<std::uint8_t>));
+static_assert(sizeof(RealSync::Atomic<std::uint32_t>) ==
+              sizeof(std::atomic<std::uint32_t>));
+static_assert(sizeof(RealSync::Atomic<std::int64_t>) ==
+              sizeof(std::atomic<std::int64_t>));
+static_assert(sizeof(RealSync::Atomic<std::uint64_t>) ==
+              sizeof(std::atomic<std::uint64_t>));
+static_assert(sizeof(RealSync::Atomic<void*>) == sizeof(std::atomic<void*>));
+static_assert(alignof(RealSync::Atomic<std::int64_t>) ==
+              alignof(std::atomic<std::int64_t>));
+static_assert(std::is_empty_v<RealSync::PlainGuard>);
+
+}  // namespace kcore::chk

@@ -1,0 +1,41 @@
+// Vector clocks for the chk model checker (chk/model.h).
+//
+// One component per virtual thread (slot 0 is the init/driver context).
+// Clocks order the events of an explored execution: event A happens-before
+// event B iff A's clock is component-wise <= B's thread's clock when B
+// executes. The model uses them three ways — acquire/release publication
+// (a store carries the clock an acquire reader joins), coherence pruning
+// (a load may not read a store that is happens-before-overwritten), and
+// the plain-access race checker (conflicting accesses must be ordered).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace kcore::chk {
+
+/// Hard cap on virtual threads per explored program (init context + up to
+/// 7 workers — the controlled-schedule configurations are deliberately
+/// small; exploration cost grows exponentially with thread count).
+inline constexpr unsigned kMaxThreads = 8;
+
+struct VectorClock {
+  std::array<std::uint32_t, kMaxThreads> c{};
+
+  void join(const VectorClock& other) noexcept {
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+      if (other.c[i] > c[i]) c[i] = other.c[i];
+    }
+  }
+
+  /// True iff this clock is component-wise <= other: the event stamped
+  /// with *this happens-before (or is) the point where `other` was taken.
+  [[nodiscard]] bool leq(const VectorClock& other) const noexcept {
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+      if (c[i] > other.c[i]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace kcore::chk

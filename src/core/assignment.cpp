@@ -1,5 +1,8 @@
 #include "core/assignment.h"
 
+#include <cstdint>
+#include <vector>
+
 #include "util/check.h"
 #include "util/rng.h"
 

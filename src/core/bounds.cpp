@@ -1,5 +1,8 @@
 #include "core/bounds.h"
 
+#include <cstdint>
+#include <vector>
+
 #include "graph/stats.h"
 #include "util/check.h"
 

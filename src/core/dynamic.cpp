@@ -1,6 +1,10 @@
 #include "core/dynamic.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/compute_index.h"
 #include "util/check.h"

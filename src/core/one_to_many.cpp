@@ -1,6 +1,11 @@
 #include "core/one_to_many.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 

@@ -1,6 +1,10 @@
 #include "core/one_to_one.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 

@@ -1,5 +1,10 @@
 #include "core/pregel_kcore.h"
 
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
 namespace kcore::core {
 
 PregelKCoreResult run_pregel_kcore(const graph::Graph& g,

@@ -1,5 +1,9 @@
 #include "core/run_options.h"
 
+#include <optional>
+#include <string>
+#include <vector>
+
 namespace kcore::core {
 
 std::vector<std::string> RunOptions::validate() const {

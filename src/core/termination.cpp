@@ -1,5 +1,9 @@
 #include "core/termination.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "seq/kcore_seq.h"
 #include "util/check.h"
 

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "chk/sync.h"
 #include "core/one_to_one.h"
 #include "graph/graph.h"
 
@@ -86,61 +87,83 @@ struct CentralizedTermination {
 /// declares termination. Once confirmed, done() stays true forever (the
 /// protocol guarantees no spontaneous work). Any worker may call
 /// try_confirm() concurrently; confirmation is idempotent.
-class QuiescenceDetector {
+///
+/// The Sync parameter is the chk shim (chk/sync.h): production uses the
+/// zero-overhead RealSync passthrough; the model checker instantiates
+/// the detector over chk::ModelSync and explores its orderings under
+/// controlled schedules (the done-flag release publication is one of the
+/// seeded mutants in tests/test_chk_mutants.cpp).
+template <typename Sync = chk::RealSync>
+class BasicQuiescenceDetector {
+  static constexpr bool kNothrow = !Sync::kInstrumented;
+
  public:
   /// Work units created (flag transitions 0 -> 1 in the async engine).
-  void add(std::uint64_t n = 1) noexcept {
+  void add(std::uint64_t n = 1) noexcept(kNothrow) {
     outstanding_.fetch_add(static_cast<std::int64_t>(n),
-                           std::memory_order_acq_rel);
+                           std::memory_order_acq_rel, "qd.add");
   }
 
   /// One previously-added unit retired (processed to completion).
-  void finish() noexcept {
-    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  void finish() noexcept(kNothrow) {
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel, "qd.finish");
   }
 
-  [[nodiscard]] std::int64_t outstanding() const noexcept {
-    return outstanding_.load(std::memory_order_acquire);
+  [[nodiscard]] std::int64_t outstanding() const noexcept(kNothrow) {
+    return outstanding_.load(std::memory_order_acquire,
+                             "qd.read_outstanding");
   }
 
   /// Attempt termination detection; true once the run is quiescent.
-  [[nodiscard]] bool try_confirm() noexcept {
-    if (done_.load(std::memory_order_acquire)) return true;
-    if (outstanding_.load(std::memory_order_seq_cst) != 0) return false;
-    passes_.fetch_add(1, std::memory_order_relaxed);
+  [[nodiscard]] bool try_confirm() noexcept(kNothrow) {
+    if (done_.load(std::memory_order_acquire, "qd.read_done")) return true;
+    if (outstanding_.load(std::memory_order_seq_cst, "qd.confirm.read1") !=
+        0) {
+      return false;
+    }
+    passes_.fetch_add(1, std::memory_order_relaxed, "qd.confirm.count_pass");
     // Confirmation pass: the fence orders this re-read after every
     // add/finish that preceded the first read in the seq_cst order — a
     // counter that is still (or again) nonzero cancels the declaration.
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (outstanding_.load(std::memory_order_seq_cst) != 0) return false;
-    done_.store(true, std::memory_order_release);
+    Sync::fence(std::memory_order_seq_cst, "qd.confirm.fence");
+    if (outstanding_.load(std::memory_order_seq_cst, "qd.confirm.read2") !=
+        0) {
+      return false;
+    }
+    done_.store(true, std::memory_order_release, "qd.confirm.store_done");
     return true;
   }
 
   /// Sticky: set only by a successful try_confirm().
-  [[nodiscard]] bool done() const noexcept {
-    return done_.load(std::memory_order_acquire);
+  [[nodiscard]] bool done() const noexcept(kNothrow) {
+    return done_.load(std::memory_order_acquire, "qd.read_done");
   }
 
   /// Confirmation passes started (first read saw zero) — the async
   /// analogue of the detector's control-message count.
-  [[nodiscard]] std::uint64_t passes() const noexcept {
-    return passes_.load(std::memory_order_relaxed);
+  [[nodiscard]] std::uint64_t passes() const noexcept(kNothrow) {
+    return passes_.load(std::memory_order_relaxed, "qd.read_passes");
   }
 
   /// Single-threaded reset between runs (the prepared async engine reuses
   /// one detector per worklist). Must not race with add/finish/try_confirm
   /// — callers quiesce the workers first.
-  void reset() noexcept {
-    outstanding_.store(0, std::memory_order_relaxed);
-    passes_.store(0, std::memory_order_relaxed);
-    done_.store(false, std::memory_order_relaxed);
+  void reset() noexcept(kNothrow) {
+    outstanding_.store(0, std::memory_order_relaxed, "qd.reset.outstanding");
+    passes_.store(0, std::memory_order_relaxed, "qd.reset.passes");
+    done_.store(false, std::memory_order_relaxed, "qd.reset.done");
   }
 
  private:
-  alignas(64) std::atomic<std::int64_t> outstanding_{0};
-  std::atomic<std::uint64_t> passes_{0};
-  std::atomic<bool> done_{false};
+  template <typename T>
+  using Atomic = typename Sync::template Atomic<T>;
+
+  alignas(64) Atomic<std::int64_t> outstanding_{0};
+  Atomic<std::uint64_t> passes_{0};
+  Atomic<bool> done_{false};
 };
+
+/// The production instantiation (zero-overhead std::atomic passthrough).
+using QuiescenceDetector = BasicQuiescenceDetector<>;
 
 }  // namespace kcore::core

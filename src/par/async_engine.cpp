@@ -1,12 +1,16 @@
 #include "par/async_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
+#include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
+#include <vector>
 
 #include "core/assignment.h"
 #include "core/compute_index.h"
@@ -20,24 +24,6 @@ namespace kcore::par {
 namespace {
 
 using core::SchedPolicy;
-
-PriorityPool<std::uint32_t> make_pool(unsigned workers, SchedPolicy policy) {
-  switch (policy) {
-    case SchedPolicy::kLifo:
-      // One bucket per lane: push/pop degenerate to the classic Chase–Lev
-      // LIFO/steal path with a single-probe scan.
-      return {workers, 1, PopOrder::kAscending};
-    case SchedPolicy::kBound:
-      // Bucket = current estimate: the lowest estimate is the closest to
-      // final (the peeling frontier), so ascending pop order.
-      return {workers, AsyncWorklist::kBuckets, PopOrder::kAscending};
-    case SchedPolicy::kDelta:
-      // Bucket = log2 of the accumulated estimate drop since the vertex
-      // was last relaxed: the most-changed neighborhood pops first.
-      return {workers, AsyncWorklist::kBuckets, PopOrder::kDescending};
-  }
-  return {workers, 1, PopOrder::kAscending};
-}
 
 /// bound: clamp the estimate into the bitmap width.
 std::uint32_t bound_bucket(graph::NodeId estimate) {
@@ -55,85 +41,8 @@ std::uint32_t delta_bucket(std::uint32_t accumulated) {
 
 }  // namespace
 
-// --- AsyncWorklist ----------------------------------------------------------
-
-AsyncWorklist::AsyncWorklist(std::uint32_t size, unsigned workers,
-                             SchedPolicy policy)
-    : policy_(policy),
-      in_queue_(size),
-      pool_(make_pool(workers, policy)),
-      tallies_(workers) {
-  KCORE_CHECK_MSG(workers >= 1, "worklist needs at least one worker");
-  for (std::uint32_t i = 0; i < size; ++i) {
-    in_queue_[i].store(0, std::memory_order_relaxed);
-  }
-}
-
-void AsyncWorklist::seed(std::uint32_t item, unsigned worker,
-                         std::uint32_t bucket) {
-  in_queue_[item].store(1, std::memory_order_relaxed);
-  detector_.add();
-  pool_.push(item, bucket, worker);
-  ++tallies_[worker].enqueues;
-}
-
-bool AsyncWorklist::schedule(std::uint32_t item, unsigned worker,
-                             std::uint32_t bucket) {
-  // Only the 0->1 winner enqueues: a vertex is in at most one bucket, and
-  // each enqueue is matched by exactly one acquire+finish.
-  if (in_queue_[item].exchange(1, std::memory_order_acq_rel) != 0) {
-    return false;
-  }
-  // add() BEFORE the push: the moment the item is stealable it is already
-  // counted, so the detector can never observe a transient zero.
-  detector_.add();
-  pool_.push(item, bucket, worker);
-  ++tallies_[worker].enqueues;
-  return true;
-}
-
-std::uint32_t AsyncWorklist::acquire(unsigned worker) {
-  auto& tally = tallies_[worker];
-  std::uint32_t item = kNone;
-  if (pool_.pop_own(item, worker, tally.pop_scans)) return item;
-  if (pool_.steal(item, worker, tally.pop_scans)) {
-    ++tally.steals;
-    return item;
-  }
-  return kNone;
-}
-
-void AsyncWorklist::begin(std::uint32_t item) {
-  // Exchange, not store: every flag write stays an RMW, so this clear
-  // synchronizes with each preceding schedule()'s 1-exchange and the
-  // inputs written before those schedules are visible to the caller.
-  (void)in_queue_[item].exchange(0, std::memory_order_acq_rel);
-}
-
-void AsyncWorklist::reset() {
-  for (auto& flag : in_queue_) flag.store(0, std::memory_order_relaxed);
-  for (auto& tally : tallies_) tally = WorkerTally{};
-  pool_.clear();
-  detector_.reset();
-}
-
-std::uint64_t AsyncWorklist::total_steals() const {
-  std::uint64_t total = 0;
-  for (const auto& tally : tallies_) total += tally.steals;
-  return total;
-}
-
-std::uint64_t AsyncWorklist::total_enqueues() const {
-  std::uint64_t total = 0;
-  for (const auto& tally : tallies_) total += tally.enqueues;
-  return total;
-}
-
-std::uint64_t AsyncWorklist::total_pop_scans() const {
-  std::uint64_t total = 0;
-  for (const auto& tally : tallies_) total += tally.pop_scans;
-  return total;
-}
+// AsyncWorklist lives in par/async_worklist.h (a template over the chk
+// synchronization shim; this engine uses the RealSync instantiation).
 
 // --- run_bsp_async ----------------------------------------------------------
 

@@ -37,9 +37,11 @@
 //    centralized detector ported to shared memory.
 //
 // AsyncWorklist is the scheduling core (flags + priority pool + detector)
-// factored out of the engine so tests/test_async_runtime.cpp and
+// factored out of the engine — into par/async_worklist.h, as a template
+// over the chk synchronization shim — so tests/test_async_runtime.cpp and
 // tests/test_priority_pool.cpp can hammer the protocol directly, without
-// a graph in the loop.
+// a graph in the loop, and tests/test_chk.cpp can model-check it under
+// controlled schedules.
 #pragma once
 
 #include <atomic>
@@ -48,9 +50,8 @@
 #include <vector>
 
 #include "core/run_options.h"
-#include "core/termination.h"
 #include "graph/graph.h"
-#include "par/priority_pool.h"
+#include "par/async_worklist.h"
 
 namespace kcore::par {
 
@@ -84,98 +85,6 @@ struct AsyncResult {
   unsigned threads_used = 0;
   double setup_ms = 0.0;  // table/worklist reset + seeding
   double run_ms = 0.0;    // the chaotic-relaxation phase
-};
-
-/// The scheduling core: per-item in-queue flags, the bucketed priority
-/// pool of per-worker steal deques, and the shared quiescence detector.
-/// Items are dense ids in [0, size).
-///
-/// Thread contract: worker w is the only caller of acquire(w) and the only
-/// owner of lane w; schedule(item, w, bucket) may be called by any worker
-/// (it pushes into the CALLER's lane, which it owns). seed() and reset()
-/// are single-threaded, before the workers start.
-class AsyncWorklist {
- public:
-  static constexpr std::uint32_t kNone = UINT32_MAX;
-  /// Priority buckets of the non-lifo policies (== the pool's bitmap
-  /// width). Priorities at or above the cap share the last bucket.
-  static constexpr std::uint32_t kBuckets = PriorityPool<std::uint32_t>::kMaxBuckets;
-
-  AsyncWorklist(std::uint32_t size, unsigned workers,
-                core::SchedPolicy policy = core::SchedPolicy::kLifo);
-
-  [[nodiscard]] unsigned workers() const noexcept { return pool_.workers(); }
-  [[nodiscard]] core::SchedPolicy policy() const noexcept { return policy_; }
-
-  /// Pre-run seeding: flag `item` and enqueue it into `worker`'s lane at
-  /// `bucket`. Must not race with acquire/schedule.
-  void seed(std::uint32_t item, unsigned worker, std::uint32_t bucket = 0);
-
-  /// Activation: flag `item` and, if this call won the 0->1 transition,
-  /// enqueue it into the calling worker's lane at priority `bucket`
-  /// (clamped to the pool width; ignored under lifo). Returns true when
-  /// this call enqueued (false: the item was already scheduled elsewhere
-  /// — its bucket keeps the priority it was enqueued with, the MultiQueue
-  /// staleness trade).
-  bool schedule(std::uint32_t item, unsigned worker, std::uint32_t bucket = 0);
-
-  /// Next item for worker w: own lane in bucket-priority order first,
-  /// then a bucket-major steal sweep over the other lanes. kNone when
-  /// nothing was found (the caller should try_confirm()/back off and
-  /// retry — kNone is NOT termination).
-  [[nodiscard]] std::uint32_t acquire(unsigned worker);
-
-  /// Clear the acquired item's in-queue flag. MUST be called before
-  /// reading the item's inputs: the exchange synchronizes with every
-  /// earlier schedule()'s flag RMW, so inputs written before those
-  /// schedules are visible after this call — and any write that lands
-  /// after it re-flags the item. This ordering is the no-lost-wakeup
-  /// guarantee.
-  void begin(std::uint32_t item);
-
-  /// Retire the acquired item after processing it — including every
-  /// schedule() it issued (the detector's accounting contract).
-  void finish() noexcept { detector_.finish(); }
-
-  /// Idle worker's termination attempt (counter zero + confirmation
-  /// pass); sticky once true.
-  [[nodiscard]] bool try_confirm() noexcept {
-    return detector_.try_confirm();
-  }
-  [[nodiscard]] bool done() const noexcept { return detector_.done(); }
-
-  [[nodiscard]] const core::QuiescenceDetector& detector() const noexcept {
-    return detector_;
-  }
-
-  /// True iff `item`'s in-queue flag is currently set (tests/monitoring).
-  [[nodiscard]] bool flagged(std::uint32_t item) const {
-    return in_queue_[item].load(std::memory_order_acquire) != 0;
-  }
-
-  /// Single-threaded reset between runs: clear every flag and tally,
-  /// empty the pool (keeping its ring allocations) and re-arm the
-  /// detector. Lets api::Session reuse one worklist across warm runs
-  /// instead of re-allocating it.
-  void reset();
-
-  /// Post-run tallies, summed over workers (call after the workers join).
-  [[nodiscard]] std::uint64_t total_steals() const;
-  [[nodiscard]] std::uint64_t total_enqueues() const;
-  [[nodiscard]] std::uint64_t total_pop_scans() const;
-
- private:
-  struct alignas(64) WorkerTally {
-    std::uint64_t steals = 0;     // written only by the owning worker
-    std::uint64_t enqueues = 0;   // successful seed/schedule calls
-    std::uint64_t pop_scans = 0;  // deque probes during acquire
-  };
-
-  core::SchedPolicy policy_;
-  std::vector<std::atomic<std::uint8_t>> in_queue_;
-  PriorityPool<std::uint32_t> pool_;
-  std::vector<WorkerTally> tallies_;
-  core::QuiescenceDetector detector_;
 };
 
 /// Run the async chaotic-relaxation decomposition. Consumed options:

@@ -17,6 +17,15 @@
 // queue: under bulk-synchronous rounds, per-pair SPSC is all the paper's
 // host model needs.
 //
+// That claim is a PLAIN-ACCESS discipline, not an atomic protocol, so it
+// is exactly what the chk layer's vector-clock race checker verifies:
+// each buffer carries a Sync::PlainGuard, and write_side/read_side mark
+// every access. Under chk::ModelSync a conflicting pair of marks with no
+// happens-before edge between them is flagged on ANY explored schedule —
+// even one where the racy values come out right (tests/test_chk.cpp runs
+// the matrix under a modeled barrier, then breaks the round protocol and
+// asserts the race is caught). The default RealSync guard is empty.
+//
 // Slots are cache-line aligned so two workers appending to adjacent slots
 // never false-share.
 #pragma once
@@ -25,11 +34,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "chk/sync.h"
 #include "util/check.h"
 
 namespace kcore::par {
 
-template <typename Item>
+template <typename Item, typename Sync = chk::RealSync>
 class MailboxMatrix {
  public:
   explicit MailboxMatrix(unsigned workers) : workers_(workers) {
@@ -40,16 +50,21 @@ class MailboxMatrix {
   /// Buffer worker `from` appends to in round `round`, addressed to `to`.
   [[nodiscard]] std::vector<Item>& write_side(unsigned from, unsigned to,
                                               std::uint64_t round) {
-    return slot(from, to).bufs[round & 1];
+    Slot& s = slot(from, to);
+    s.guards[round & 1].note_write("mb.write_side");
+    return s.bufs[round & 1];
   }
 
   /// Buffer worker `to` drains in round `round`: what `from` wrote in
   /// round - 1. The receiver clears it after draining; by the time the
   /// sender reuses it as a write side (round + 1), the barrier has
-  /// ordered the clear before the reuse.
+  /// ordered the clear before the reuse. Draining mutates the buffer, so
+  /// this counts as a WRITE access for the race checker too.
   [[nodiscard]] std::vector<Item>& read_side(unsigned from, unsigned to,
                                              std::uint64_t round) {
-    return slot(from, to).bufs[(round & 1) ^ 1];
+    Slot& s = slot(from, to);
+    s.guards[(round & 1) ^ 1].note_write("mb.read_side");
+    return s.bufs[(round & 1) ^ 1];
   }
 
   [[nodiscard]] unsigned workers() const noexcept { return workers_; }
@@ -57,6 +72,7 @@ class MailboxMatrix {
  private:
   struct alignas(64) Slot {
     std::vector<Item> bufs[2];
+    [[no_unique_address]] typename Sync::PlainGuard guards[2];
   };
 
   [[nodiscard]] Slot& slot(unsigned from, unsigned to) {

@@ -29,6 +29,10 @@
 //    stale set bit costs one wasted probe until the owner's next dry
 //    scan; a clear bit is a guarantee, so no item can be overlooked
 //    forever (the no-lost-work property the quiescence detector needs).
+//
+// Both claims — exactly-once hand-off and the superset invariant — are
+// model-checked under controlled schedules in tests/test_chk.cpp via the
+// Sync parameter (default: the zero-overhead chk::RealSync passthrough).
 #pragma once
 
 #include <atomic>
@@ -38,6 +42,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "chk/sync.h"
 #include "par/steal_deque.h"
 #include "util/check.h"
 
@@ -51,10 +56,10 @@ enum class PopOrder {
   kDescending,
 };
 
-template <typename T>
+template <typename T, typename Sync = chk::RealSync>
 class PriorityPool {
   static_assert(std::is_trivially_copyable_v<T>,
-                "bucket slots are std::atomic<T>: T must be trivially "
+                "bucket slots are atomic<T>: T must be trivially "
                 "copyable");
 
  public:
@@ -93,9 +98,11 @@ class PriorityPool {
     // bit before the push below lands just probes an empty deque and
     // moves on; actual element hand-off is synchronized entirely by the
     // Chase–Lev orderings inside the deque.
-    const std::uint64_t hint = lane.hint.load(std::memory_order_relaxed);
+    const std::uint64_t hint =
+        lane.hint.load(std::memory_order_relaxed, "pp.push.read_hint");
     if ((hint & bit) == 0) {
-      lane.hint.store(hint | bit, std::memory_order_release);
+      lane.hint.store(hint | bit, std::memory_order_release,
+                      "pp.push.store_hint");
     }
     lane.deque(bucket).push(value);
   }
@@ -104,7 +111,8 @@ class PriorityPool {
   /// counts deque probe operations (the policy's scan overhead metric).
   [[nodiscard]] bool pop_own(T& out, unsigned worker, std::uint64_t& probes) {
     Lane& lane = *lanes_[worker];
-    std::uint64_t hint = lane.hint.load(std::memory_order_relaxed);
+    std::uint64_t hint =
+        lane.hint.load(std::memory_order_relaxed, "pp.pop.read_hint");
     while (hint != 0) {
       const std::uint32_t bucket = best_bucket(hint);
       ++probes;
@@ -113,7 +121,7 @@ class PriorityPool {
       // until our own next push, so the bit can be retired.
       const std::uint64_t bit = 1ULL << bucket;
       hint &= ~bit;
-      lane.hint.store(hint, std::memory_order_relaxed);
+      lane.hint.store(hint, std::memory_order_relaxed, "pp.pop.store_hint");
     }
     return false;
   }
@@ -132,7 +140,8 @@ class PriorityPool {
     std::uint64_t any = 0;
     for (unsigned offset = 1; offset < n; ++offset) {
       const unsigned victim = (worker + offset) % n;
-      snapshot[offset] = lanes_[victim]->hint.load(std::memory_order_acquire);
+      snapshot[offset] = lanes_[victim]->hint.load(std::memory_order_acquire,
+                                                   "pp.steal.read_hint");
       any |= snapshot[offset];
     }
     for (std::uint32_t step = 0; step < buckets_ && any != 0; ++step) {
@@ -153,23 +162,35 @@ class PriorityPool {
   /// Single-threaded reset between runs: forget all content, keep every
   /// ring allocation (warm re-runs never re-allocate). Must not race with
   /// push/pop/steal.
-  void clear() noexcept {
+  void clear() noexcept(!Sync::kInstrumented) {
     for (auto& lane : lanes_) {
-      lane->hint.store(0, std::memory_order_relaxed);
+      lane->hint.store(0, std::memory_order_relaxed, "pp.clear.store_hint");
       for (std::uint32_t b = 0; b < buckets_; ++b) lane->deque(b).clear();
     }
+  }
+
+  /// Tests/monitoring only (single-threaded or owner-side use): the
+  /// lane's current hint bitmap and a racy per-bucket size estimate, for
+  /// checking the superset invariant at quiescent points.
+  [[nodiscard]] std::uint64_t hint_bitmap(unsigned worker) const {
+    return lanes_[worker]->hint.load(std::memory_order_relaxed,
+                                     "pp.monitor.read_hint");
+  }
+  [[nodiscard]] std::int64_t bucket_size_estimate(unsigned worker,
+                                                  std::uint32_t bucket) const {
+    return lanes_[worker]->deque(bucket).size_estimate();
   }
 
  private:
   struct alignas(64) Lane {
     Lane(std::uint32_t buckets, unsigned workers)
-        : deques(new StealDeque<T>[buckets]),
+        : deques(new StealDeque<T, Sync>[buckets]),
           steal_snapshot(new std::uint64_t[workers]) {}
-    [[nodiscard]] StealDeque<T>& deque(std::uint32_t bucket) {
+    [[nodiscard]] StealDeque<T, Sync>& deque(std::uint32_t bucket) {
       return deques[bucket];
     }
-    std::atomic<std::uint64_t> hint{0};
-    std::unique_ptr<StealDeque<T>[]> deques;
+    typename Sync::template Atomic<std::uint64_t> hint{0};
+    std::unique_ptr<StealDeque<T, Sync>[]> deques;
     /// Owner-only scratch for steal()'s once-per-sweep hint snapshot.
     std::unique_ptr<std::uint64_t[]> steal_snapshot;
   };

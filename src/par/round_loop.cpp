@@ -1,6 +1,7 @@
 #include "par/round_loop.h"
 
 #include <barrier>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>

@@ -1,6 +1,8 @@
 #include "par/runtime.h"
 
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "core/assignment.h"
 #include "par/engine.h"

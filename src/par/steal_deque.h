@@ -18,12 +18,19 @@
 //    then CAS top — a lost CAS means another thief (or the owner's pop)
 //    won that element.
 //
+// Every ordering above carries a SITE TAG ("sd.pop.fence_seq", ...) for
+// the chk layer: under chk::ModelSync the model checker explores thread
+// interleavings and stale-read choices, and the mutation harness weakens
+// one named site at a time to prove each ordering is load-bearing (see
+// tests/test_chk_mutants.cpp — the PPoPP'13 comments as executable
+// specifications). The default Sync is the zero-overhead passthrough.
+//
 // Growth: the ring doubles when full. Only the owner grows; thieves may
 // still be reading the OLD ring, so retired rings are kept alive until the
 // deque is destroyed (a handful of geometrically-growing arrays — bounded
 // memory, zero hazard-pointer machinery).
 //
-// Element type T must be trivially copyable (slots are std::atomic<T>).
+// Element type T must be trivially copyable (slots are Sync::Atomic<T>).
 #pragma once
 
 #include <atomic>
@@ -32,12 +39,16 @@
 #include <type_traits>
 #include <vector>
 
+#include "chk/sync.h"
+
 namespace kcore::par {
 
-template <typename T>
+template <typename T, typename Sync = chk::RealSync>
 class StealDeque {
   static_assert(std::is_trivially_copyable_v<T>,
-                "slots are std::atomic<T>: T must be trivially copyable");
+                "slots are atomic<T>: T must be trivially copyable");
+  template <typename U>
+  using Atomic = typename Sync::template Atomic<U>;
 
  public:
   /// `capacity_hint` is rounded up to a power of two (minimum 2).
@@ -45,7 +56,8 @@ class StealDeque {
     std::uint64_t capacity = 2;
     while (capacity < capacity_hint) capacity *= 2;
     rings_.push_back(std::make_unique<Ring>(capacity));
-    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+    ring_.store(rings_.back().get(), std::memory_order_relaxed,
+                "sd.init.store_ring");
   }
 
   StealDeque(const StealDeque&) = delete;
@@ -53,35 +65,42 @@ class StealDeque {
 
   /// Owner only: push at the bottom. Grows the ring when full.
   void push(T value) {
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    const std::int64_t t = top_.load(std::memory_order_acquire);
-    Ring* ring = ring_.load(std::memory_order_relaxed);
+    const std::int64_t b =
+        bottom_.load(std::memory_order_relaxed, "sd.push.read_bottom");
+    const std::int64_t t =
+        top_.load(std::memory_order_acquire, "sd.push.read_top");
+    Ring* ring = ring_.load(std::memory_order_relaxed, "sd.push.read_ring");
     if (b - t > static_cast<std::int64_t>(ring->capacity) - 1) {
       ring = grow(ring, t, b);
     }
-    ring->slot(b).store(value, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    ring->slot(b).store(value, std::memory_order_relaxed,
+                        "sd.push.store_slot");
+    Sync::fence(std::memory_order_release, "sd.push.fence_release");
+    bottom_.store(b + 1, std::memory_order_relaxed, "sd.push.store_bottom");
   }
 
   /// Owner only: pop at the bottom. False when empty.
   bool pop(T& out) {
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    Ring* ring = ring_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t b =
+        bottom_.load(std::memory_order_relaxed, "sd.pop.read_bottom") - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed, "sd.pop.read_ring");
+    bottom_.store(b, std::memory_order_relaxed, "sd.pop.store_bottom");
+    Sync::fence(std::memory_order_seq_cst, "sd.pop.fence_seq");
+    std::int64_t t = top_.load(std::memory_order_relaxed, "sd.pop.read_top");
     if (t > b) {
       // Already empty — undo the reservation.
-      bottom_.store(b + 1, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed,
+                    "sd.pop.store_bottom_restore");
       return false;
     }
-    out = ring->slot(b).load(std::memory_order_relaxed);
+    out = ring->slot(b).load(std::memory_order_relaxed, "sd.pop.read_slot");
     if (t == b) {
       // Last element: race the thieves for it through top.
       const bool won = top_.compare_exchange_strong(
-          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
-      bottom_.store(b + 1, std::memory_order_relaxed);
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed,
+          "sd.pop.cas_top");
+      bottom_.store(b + 1, std::memory_order_relaxed,
+                    "sd.pop.store_bottom_restore");
       return won;
     }
     return true;
@@ -90,63 +109,71 @@ class StealDeque {
   /// Thieves (any thread): steal from the top. False when empty or when
   /// the race for the element was lost (callers just try elsewhere).
   bool steal(T& out) {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    std::int64_t t =
+        top_.load(std::memory_order_acquire, "sd.steal.read_top");
+    Sync::fence(std::memory_order_seq_cst, "sd.steal.fence_seq");
+    const std::int64_t b =
+        bottom_.load(std::memory_order_acquire, "sd.steal.read_bottom");
     if (t >= b) return false;
-    Ring* ring = ring_.load(std::memory_order_acquire);
-    out = ring->slot(t).load(std::memory_order_relaxed);
-    return top_.compare_exchange_strong(
-        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    Ring* ring = ring_.load(std::memory_order_acquire, "sd.steal.read_ring");
+    out = ring->slot(t).load(std::memory_order_relaxed, "sd.steal.read_slot");
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed,
+                                        "sd.steal.cas_top");
   }
 
   /// Single-threaded reset between runs: forget any content, KEEP the
   /// grown rings (so a warm re-run never re-allocates). Must not race
   /// with push/pop/steal — callers quiesce the workers first.
-  void clear() noexcept {
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    top_.store(b, std::memory_order_relaxed);
+  void clear() noexcept(!Sync::kInstrumented) {
+    const std::int64_t b =
+        bottom_.load(std::memory_order_relaxed, "sd.clear.read_bottom");
+    top_.store(b, std::memory_order_relaxed, "sd.clear.store_top");
   }
 
   /// Racy size estimate (monitoring/tests only — never a correctness
   /// signal; emptiness is decided by pop/steal themselves).
   [[nodiscard]] std::int64_t size_estimate() const {
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t b =
+        bottom_.load(std::memory_order_relaxed, "sd.size.read_bottom");
+    const std::int64_t t =
+        top_.load(std::memory_order_relaxed, "sd.size.read_top");
     return b > t ? b - t : 0;
   }
 
   [[nodiscard]] std::uint64_t capacity() const {
-    return ring_.load(std::memory_order_relaxed)->capacity;
+    return ring_.load(std::memory_order_relaxed, "sd.capacity.read_ring")
+        ->capacity;
   }
 
  private:
   struct Ring {
     explicit Ring(std::uint64_t cap)
-        : capacity(cap), slots(new std::atomic<T>[cap]) {}
-    [[nodiscard]] std::atomic<T>& slot(std::int64_t i) {
+        : capacity(cap), slots(new Atomic<T>[cap]) {}
+    [[nodiscard]] Atomic<T>& slot(std::int64_t i) {
       return slots[static_cast<std::uint64_t>(i) & (capacity - 1)];
     }
     std::uint64_t capacity;  // power of two
-    std::unique_ptr<std::atomic<T>[]> slots;
+    std::unique_ptr<Atomic<T>[]> slots;
   };
 
   Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
     rings_.push_back(std::make_unique<Ring>(old->capacity * 2));
     Ring* bigger = rings_.back().get();
     for (std::int64_t i = t; i < b; ++i) {
-      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
-                            std::memory_order_relaxed);
+      bigger->slot(i).store(
+          old->slot(i).load(std::memory_order_relaxed, "sd.grow.read_slot"),
+          std::memory_order_relaxed, "sd.grow.store_slot");
     }
     // Thieves acquire this pointer; the slot copies above are published by
     // the release store together with everything the owner wrote.
-    ring_.store(bigger, std::memory_order_release);
+    ring_.store(bigger, std::memory_order_release, "sd.grow.publish_ring");
     return bigger;
   }
 
-  alignas(64) std::atomic<std::int64_t> top_{0};
-  alignas(64) std::atomic<std::int64_t> bottom_{0};
-  std::atomic<Ring*> ring_{nullptr};
+  alignas(64) Atomic<std::int64_t> top_{0};
+  alignas(64) Atomic<std::int64_t> bottom_{0};
+  Atomic<Ring*> ring_{nullptr};
   // All rings ever allocated; retired ones stay alive for in-flight
   // thieves (owner-only mutation, only through push's grow path).
   std::vector<std::unique_ptr<Ring>> rings_;
