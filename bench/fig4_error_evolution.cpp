@@ -22,5 +22,13 @@ int main() {
   std::cout << "\nShape check vs paper: max error <= 1 on every profile from "
                "round "
             << round_where_max_le_1 << " on (paper: ~22).\n";
+
+  // The asynchronous counterpart: bsp-async has no rounds to observe, so
+  // the error curve comes from the obs sampler (error vs wall-clock
+  // time; empty under KCORE_OBS=OFF).
+  std::cout << "\n== Figure 4, async edition (error vs time, obs sampler) =="
+            << "\n\n";
+  const auto async_series = run_fig4_async(options);
+  print_fig4_async(async_series, std::cout);
   return 0;
 }

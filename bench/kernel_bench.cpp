@@ -38,6 +38,7 @@
 #include "util/check.h"
 #include "util/clock.h"
 #include "util/env.h"
+#include "util/json.h"
 #include "util/table.h"
 
 // --- global allocation counter ---------------------------------------------
@@ -78,18 +79,23 @@ struct Record {
 
 std::string json_of(const std::vector<Record>& records) {
   std::ostringstream out;
-  out << "{\n  \"bench\": \"kernel_bench\",\n  \"records\": [\n";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const Record& r = records[i];
+  util::JsonWriter w(out, 2);
+  w.begin_object();
+  w.member("bench", "kernel_bench");
+  w.key("records").begin_array();
+  for (const Record& r : records) {
     const double speedup = r.epoch > 0.0 ? r.legacy / r.epoch : 0.0;
-    out << "    {\"section\": \"" << r.section << "\", \"input\": \""
-        << r.input << "\", \"legacy\": " << util::fmt_double(r.legacy, 3)
-        << ", \"epoch_stamped\": " << util::fmt_double(r.epoch, 3)
-        << ", \"unit\": \"" << r.unit
-        << "\", \"speedup\": " << util::fmt_double(speedup, 3) << "}"
-        << (i + 1 < records.size() ? "," : "") << "\n";
+    w.begin_object();
+    w.member("section", r.section);
+    w.member("input", r.input);
+    w.member("legacy", r.legacy, 3);
+    w.member("epoch_stamped", r.epoch, 3);
+    w.member("unit", r.unit);
+    w.member("speedup", speedup, 3);
+    w.end_object();
   }
-  out << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
   return out.str();
 }
 

@@ -29,16 +29,20 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/api.h"
 #include "api/session.h"
 #include "eval/experiments.h"
 #include "graph/generators.h"
+#include "obs/obs.h"
 #include "util/env.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -64,36 +68,66 @@ struct Record {
   /// vs the warm-run median (the amortized serving cost).
   double first_wall_ms = 0.0;
   double warm_wall_ms = 0.0;
+  /// Telemetry of the cell's LAST run (the Plan requests obs.metrics;
+  /// the clamp drops it for non-consuming protocols, so this is null
+  /// for bz — and for every cell in a KCORE_OBS=OFF build).
+  std::shared_ptr<const obs::RunTelemetry> telemetry;
 };
 
 std::string json_of(const std::vector<Record>& records) {
   std::ostringstream out;
+  util::JsonWriter w(out, 2);
+  w.begin_object();
+  w.member("bench", "scaling_study");
   // hardware_threads records the runner's core budget next to the data:
   // a 1-core container structurally cannot show speedup, and the reader
   // must be able to tell that apart from a scaling regression. The
   // speedup_note guards the other misreading: bsp-async's relaxation
   // count (and message column) is schedule-dependent, so its
   // speedup_vs_1t compares equal problems, not equal work.
-  out << "{\n  \"bench\": \"scaling_study\",\n  \"hardware_threads\": "
-      << std::thread::hardware_concurrency()
-      << ",\n  \"speedup_note\": \"speedup_vs_1t = run_ms(1t)/run_ms(Nt) "
-         "for the SAME problem; bsp-async performs schedule-dependent "
-         "work, so its column is wall-clock speedup, not work-normalized "
-         "scaling\",\n  \"records\": [\n";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const Record& r = records[i];
-    out << "    {\"dataset\": \"" << r.dataset << "\", \"protocol\": \""
-        << r.protocol << "\", \"threads\": " << r.threads
-        << ", \"sched\": \"" << r.sched << "\""
-        << ", \"wall_ms\": " << util::fmt_double(r.wall_ms, 3)
-        << ", \"run_ms\": " << util::fmt_double(r.run_ms, 3)
-        << ", \"rounds\": " << r.rounds << ", \"messages\": " << r.messages
-        << ", \"speedup_vs_1t\": " << util::fmt_double(r.speedup_vs_1t, 3)
-        << ", \"first_wall_ms\": " << util::fmt_double(r.first_wall_ms, 3)
-        << ", \"warm_wall_ms\": " << util::fmt_double(r.warm_wall_ms, 3)
-        << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  w.member("hardware_threads",
+           std::uint64_t{std::thread::hardware_concurrency()});
+  w.member("speedup_note",
+           "speedup_vs_1t = run_ms(1t)/run_ms(Nt) for the SAME problem; "
+           "bsp-async performs schedule-dependent work, so its column is "
+           "wall-clock speedup, not work-normalized scaling");
+  w.key("records").begin_array();
+  for (const Record& r : records) {
+    w.begin_object();
+    w.member("dataset", r.dataset);
+    w.member("protocol", r.protocol);
+    w.member("threads", std::uint64_t{r.threads});
+    w.member("sched", r.sched);
+    w.member("wall_ms", r.wall_ms, 3);
+    w.member("run_ms", r.run_ms, 3);
+    w.member("rounds", r.rounds);
+    w.member("messages", r.messages);
+    w.member("speedup_vs_1t", r.speedup_vs_1t, 3);
+    w.member("first_wall_ms", r.first_wall_ms, 3);
+    w.member("warm_wall_ms", r.warm_wall_ms, 3);
+    if (r.telemetry && r.telemetry->has_metrics) {
+      // The per-worker registry of the last run: every counter, plus
+      // count/mean/max per histogram (pop-scan lengths, relaxation
+      // latencies, wake fanout — the columns the perf trajectory of the
+      // scheduling policies is judged by).
+      const obs::MetricsSnapshot& m = r.telemetry->metrics;
+      w.key("counters").begin_object();
+      for (const auto& [name, count] : m.counters) w.member(name, count);
+      w.end_object();
+      w.key("histograms").begin_object();
+      for (const auto& h : m.histograms) {
+        w.key(h.name).begin_object();
+        w.member("count", h.count);
+        w.member("mean", h.mean(), 3);
+        w.member("max", h.max);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_object();
   }
-  out << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
   return out.str();
 }
 
@@ -142,6 +176,10 @@ void real_execution_study(const eval::ExperimentOptions& options,
                         api::SchedPolicy::kBound};
     plan_spec.seeds = {util::split_stream(options.base_seed, 1)};
     plan_spec.repeats = repeats;
+    // Telemetry rides along: the runtimes that consume obs report their
+    // counters/histograms into the JSON records; the Plan clamps the
+    // request off for bz (and an OBS=OFF build records nothing).
+    plan_spec.base.obs.metrics = obs::kEnabled;
     api::Plan plan(g, plan_spec);
 
     // Speedup baselines are per (protocol, sched): the policies perform
@@ -172,7 +210,8 @@ void real_execution_study(const eval::ExperimentOptions& options,
                          cell.wall_ms.min, best_run_ms,
                          cell.last.traffic.rounds_executed,
                          cell.last.traffic.total_messages, speedup,
-                         cell.first_wall_ms, warm_med});
+                         cell.first_wall_ms, warm_med,
+                         cell.last.telemetry});
       table.add_row({profile, cell.cell.protocol, std::to_string(threads),
                      sched, util::fmt_double(cell.wall_ms.min, 2),
                      util::fmt_double(best_run_ms, 2),

@@ -66,6 +66,7 @@ DecomposeReport report_of(par::OneToManyParResult result, sim::HostId shards) {
   report.coreness = std::move(result.coreness);
   report.traffic = std::move(result.traffic);
   report.extras = extras;
+  report.telemetry = std::move(result.telemetry);
   return report;
 }
 
@@ -83,6 +84,7 @@ DecomposeReport report_of(par::BspParResult result) {
   extras.run_ms = result.run_ms;
   extras.cross_shard_messages = result.stats.messages_cross_worker;
   report.extras = extras;
+  report.telemetry = std::move(result.telemetry);
   return report;
 }
 
@@ -105,6 +107,7 @@ DecomposeReport report_of(par::AsyncResult result, core::SchedPolicy sched) {
   extras.setup_ms = result.setup_ms;
   extras.run_ms = result.run_ms;
   report.extras = extras;
+  report.telemetry = std::move(result.telemetry);
   return report;
 }
 
@@ -319,6 +322,7 @@ std::vector<std::string_view> consumed_knobs(
   if (capabilities.consumes_sched) knobs.push_back("sched");
   if (capabilities.consumes_targeted_send) knobs.push_back("targeted-send");
   if (capabilities.consumes_max_rounds) knobs.push_back("max-rounds");
+  if (capabilities.consumes_obs) knobs.push_back("obs");
   return knobs;
 }
 
@@ -361,6 +365,7 @@ ProtocolRegistry::ProtocolRegistry() {
   one_to_many_par.consumes_hosts = true;
   one_to_many_par.consumes_threads = true;
   one_to_many_par.consumes_max_rounds = true;
+  one_to_many_par.consumes_obs = true;
   one_to_many_par.observer = ObserverGranularity::kPerRound;
 
   Capabilities bsp_par;
@@ -369,6 +374,7 @@ ProtocolRegistry::ProtocolRegistry() {
   bsp_par.consumes_threads = true;
   bsp_par.consumes_targeted_send = true;
   bsp_par.consumes_max_rounds = true;
+  bsp_par.consumes_obs = true;
   bsp_par.observer = ObserverGranularity::kPerRound;
 
   Capabilities bsp_async;
@@ -377,6 +383,7 @@ ProtocolRegistry::ProtocolRegistry() {
   bsp_async.consumes_threads = true;
   bsp_async.consumes_sched = true;
   bsp_async.consumes_targeted_send = true;
+  bsp_async.consumes_obs = true;
   bsp_async.observer = ObserverGranularity::kNone;
   bsp_async.deterministic_extras = false;
 
@@ -514,6 +521,13 @@ std::vector<std::string> validate(const DecomposeRequest& request) {
         "' has a fixed schedule; --sched " +
         std::string(to_string(options.sched)) + " only applies to " +
         consumers_of(registry, &Capabilities::consumes_sched));
+  }
+  if (options.obs.any() && !caps.consumes_obs) {
+    problems.push_back(
+        "protocol '" + request.protocol +
+        "' has no instrumented worker loops; --metrics / --trace / "
+        "--sample-period only apply to " +
+        consumers_of(registry, &Capabilities::consumes_obs));
   }
   return problems;
 }

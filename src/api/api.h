@@ -42,6 +42,10 @@
 #include "graph/graph.h"
 #include "sim/engine.h"
 
+namespace kcore::obs {
+struct RunTelemetry;  // obs/obs.h — carried by shared_ptr, never inspected here
+}
+
 namespace kcore::api {
 
 // The facade re-exports the shared option vocabulary so callers need only
@@ -188,6 +192,13 @@ struct DecomposeReport {
   /// call actually performed: a warm Session::run() reports only its
   /// residual setup, a one-shot decompose() the full derivation.
   double elapsed_ms = 0.0;
+  /// Harvested runtime telemetry (obs/obs.h): metrics snapshot, trace
+  /// rings, convergence samples. Null unless options.obs requested some
+  /// AND the protocol's Capabilities::consumes_obs — the sequential and
+  /// simulated runtimes have no instrumented worker loops. Shared, not
+  /// unique: benches keep the last report while streaming telemetry into
+  /// writers.
+  std::shared_ptr<const obs::RunTelemetry> telemetry;
 };
 
 // --- capabilities -----------------------------------------------------------
@@ -238,6 +249,11 @@ struct Capabilities {
   bool consumes_sched = false;          // RunOptions::sched (async pool)
   bool consumes_targeted_send = false;  // §3.1.2 toggle
   bool consumes_max_rounds = false;     // RunOptions::max_rounds
+  /// RunOptions::obs — the runtime threads obs::WorkerContexts through
+  /// its hot loops and returns DecomposeReport::telemetry. False for the
+  /// sequential/simulated family: requesting telemetry there is the same
+  /// "silent lie" as a fault plan with no channel to break.
+  bool consumes_obs = false;
   ObserverGranularity observer = ObserverGranularity::kNone;
   /// False only for schedule-dependent profiles (bsp-async): coreness is
   /// always deterministic, but steals/relaxation counts are not. The

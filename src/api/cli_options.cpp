@@ -73,6 +73,16 @@ core::RunOptions run_options_from_args(const util::Args& args,
   options.faults.duplicate_probability =
       args.get_double("dup-prob", defaults.faults.duplicate_probability);
   if (args.has("no-targeted-send")) options.targeted_send = false;
+  // Telemetry (obs/options.h). --trace itself is a tool-level flag (it
+  // names an output file); the value-bearing obs knobs live here so
+  // every binary shares them.
+  if (args.has("metrics")) options.obs.metrics = true;
+  options.obs.sample_period_ms =
+      args.get_double("sample-period", defaults.obs.sample_period_ms);
+  options.obs.trace_capacity = static_cast<std::uint32_t>(get_checked(
+      args, "trace-capacity",
+      static_cast<std::int64_t>(defaults.obs.trace_capacity),
+      std::numeric_limits<std::uint32_t>::max()));
   return options;
 }
 
@@ -95,7 +105,13 @@ const char* run_options_flag_help() {
   --comm broadcast|point-to-point         one-to-many comm (default: point-to-point)
   --max-extra-delay D        fault plan: extra delivery delay in rounds
   --dup-prob P               fault plan: duplication probability in [0,1]
-  --no-targeted-send         disable the paper's 3.1.2 optimization)";
+  --no-targeted-send         disable the paper's 3.1.2 optimization
+  --metrics                  collect per-worker counters + latency
+                             histograms (*-par / bsp-async runtimes only)
+  --sample-period MS         background convergence sampler period in ms,
+                             0 = off (default: 0)
+  --trace-capacity N         per-worker trace ring capacity in events
+                             (default: 16384; used with --trace))";
 }
 
 }  // namespace kcore::api

@@ -18,6 +18,9 @@
 //   --max-extra-delay D        fault plan: extra delivery delay in rounds
 //   --dup-prob P               fault plan: duplication probability
 //   --no-targeted-send         disable the §3.1.2 optimization
+//   --metrics                  per-worker counter/histogram registry (obs)
+//   --sample-period MS         convergence sampler period, 0 = off
+//   --trace-capacity N         per-worker trace ring capacity (events)
 #pragma once
 
 #include "core/run_options.h"

@@ -1,0 +1,214 @@
+#include "api/report_json.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <variant>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/json.h"
+
+namespace kcore::api {
+
+namespace {
+
+void write_traffic(util::JsonWriter& w, const sim::TrafficStats& traffic) {
+  w.begin_object();
+  w.member("total_messages", traffic.total_messages);
+  w.member("execution_time", traffic.execution_time);
+  w.member("rounds_executed", traffic.rounds_executed);
+  w.member("converged", traffic.converged);
+  w.end_object();
+}
+
+/// Coreness as a shell-size histogram: O(kmax) output, never O(N).
+void write_coreness(util::JsonWriter& w,
+                    const std::vector<graph::NodeId>& coreness) {
+  graph::NodeId kmax = 0;
+  double sum = 0.0;
+  for (const graph::NodeId k : coreness) {
+    kmax = std::max(kmax, k);
+    sum += static_cast<double>(k);
+  }
+  std::vector<std::uint64_t> shells(static_cast<std::size_t>(kmax) + 1, 0);
+  for (const graph::NodeId k : coreness) ++shells[k];
+  w.begin_object();
+  w.member("nodes", static_cast<std::uint64_t>(coreness.size()));
+  w.member("kmax", static_cast<std::uint64_t>(kmax));
+  w.member("kavg",
+           coreness.empty() ? 0.0 : sum / static_cast<double>(coreness.size()),
+           4);
+  w.key("shells").begin_array();
+  for (std::size_t k = 0; k < shells.size(); ++k) {
+    if (shells[k] == 0) continue;
+    w.begin_array();
+    w.value(static_cast<std::uint64_t>(k));
+    w.value(shells[k]);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+/// The typed extras variant as a tagged object ("kind" discriminates).
+/// Per-node vectors (one-to-one activity profiles) are summarized, not
+/// dumped; per-host vectors are small and emitted whole.
+struct ExtrasVisitor {
+  util::JsonWriter& w;
+
+  void operator()(std::monostate) const {
+    w.begin_object();
+    w.member("kind", "none");
+    w.end_object();
+  }
+
+  void operator()(const OneToOneExtras& extras) const {
+    std::uint64_t last_send = 0;
+    std::uint64_t transitions = 0;
+    for (const auto r : extras.last_send_round) {
+      last_send = std::max(last_send, r);
+    }
+    for (const auto t : extras.activity_transitions) transitions += t;
+    w.begin_object();
+    w.member("kind", "one-to-one");
+    w.member("last_send_round_max", last_send);
+    w.member("activity_transitions_total", transitions);
+    w.end_object();
+  }
+
+  void operator()(const OneToManyExtras& extras) const {
+    w.begin_object();
+    w.member("kind", "one-to-many");
+    w.member("estimates_shipped_total", extras.estimates_shipped_total);
+    w.member("overhead_per_node", extras.overhead_per_node, 4);
+    w.key("estimates_shipped_by_host").begin_array();
+    for (const auto v : extras.estimates_shipped_by_host) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+
+  void operator()(const BspExtras& extras) const {
+    w.begin_object();
+    w.member("kind", "bsp");
+    w.member("supersteps", extras.stats.supersteps);
+    w.member("messages_emitted", extras.stats.messages_emitted);
+    w.member("messages_delivered", extras.stats.messages_delivered);
+    w.member("messages_cross_worker", extras.stats.messages_cross_worker);
+    w.member("converged", extras.stats.converged);
+    w.end_object();
+  }
+
+  void operator()(const ParExtras& extras) const {
+    w.begin_object();
+    w.member("kind", "par");
+    w.member("threads_used", static_cast<std::uint64_t>(extras.threads_used));
+    w.member("shards", static_cast<std::uint64_t>(extras.shards));
+    w.member("setup_ms", extras.setup_ms, 3);
+    w.member("run_ms", extras.run_ms, 3);
+    w.member("estimates_shipped_total", extras.estimates_shipped_total);
+    w.member("overhead_per_node", extras.overhead_per_node, 4);
+    w.member("cross_shard_messages", extras.cross_shard_messages);
+    w.end_object();
+  }
+
+  void operator()(const AsyncExtras& extras) const {
+    w.begin_object();
+    w.member("kind", "async");
+    w.member("threads_used", static_cast<std::uint64_t>(extras.threads_used));
+    w.member("sched", to_string(extras.sched));
+    w.member("relaxations", extras.relaxations);
+    w.member("steals", extras.steals);
+    w.member("re_enqueues", extras.re_enqueues);
+    w.member("detector_passes", extras.detector_passes);
+    w.member("skipped_recomputes", extras.skipped_recomputes);
+    w.member("pop_scans", extras.pop_scans);
+    w.member("setup_ms", extras.setup_ms, 3);
+    w.member("run_ms", extras.run_ms, 3);
+    w.end_object();
+  }
+};
+
+void write_telemetry(util::JsonWriter& w, const obs::RunTelemetry& telemetry) {
+  w.begin_object();
+  if (telemetry.has_metrics) {
+    w.key("counters").begin_object();
+    for (const auto& [name, value] : telemetry.metrics.counters) {
+      w.member(name, value);
+    }
+    w.end_object();
+    w.key("histograms").begin_array();
+    for (const auto& hist : telemetry.metrics.histograms) {
+      w.begin_object();
+      w.member("name", hist.name);
+      w.member("count", hist.count);
+      w.member("sum", hist.sum);
+      w.member("max", hist.max);
+      w.member("mean", hist.mean(), 3);
+      // Nonzero buckets only, as [floor, count] pairs.
+      w.key("buckets").begin_array();
+      for (std::size_t i = 0; i < obs::HistogramSnapshot::kBuckets; ++i) {
+        if (hist.buckets[i] == 0) continue;
+        w.begin_array();
+        w.value(hist.bucket_floor(i));
+        w.value(hist.buckets[i]);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (telemetry.has_trace) {
+    // The full event stream goes to the --trace file; the report carries
+    // only its shape.
+    std::uint64_t events = 0;
+    for (const auto& dump : telemetry.trace) events += dump.events.size();
+    w.key("trace").begin_object();
+    w.member("workers", static_cast<std::uint64_t>(telemetry.trace.size()));
+    w.member("events", events);
+    w.member("dropped", telemetry.trace_dropped);
+    w.end_object();
+  }
+  if (telemetry.sample_period_ms > 0.0) {
+    w.member("sample_period_ms", telemetry.sample_period_ms, 3);
+    w.key("samples").begin_array();
+    for (const obs::Sample& s : telemetry.samples) {
+      w.begin_object();
+      w.member("t_ms", s.t_ms, 3);
+      w.member("outstanding", static_cast<std::int64_t>(s.outstanding));
+      w.member("worklist_depth", s.worklist_depth);
+      w.member("sum_estimates", s.sum_estimates, 1);
+      w.member("round", s.round);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void write_report_json(util::JsonWriter& w, const DecomposeReport& report) {
+  w.begin_object();
+  w.member("protocol", report.protocol);
+  w.member("elapsed_ms", report.elapsed_ms, 3);
+  w.key("traffic");
+  write_traffic(w, report.traffic);
+  w.key("extras");
+  std::visit(ExtrasVisitor{w}, report.extras);
+  w.key("coreness");
+  write_coreness(w, report.coreness);
+  if (report.telemetry) {
+    w.key("telemetry");
+    write_telemetry(w, *report.telemetry);
+  }
+  w.end_object();
+}
+
+void write_report_json(std::ostream& os, const DecomposeReport& report) {
+  util::JsonWriter w(os, 2);
+  write_report_json(w, report);
+}
+
+}  // namespace kcore::api

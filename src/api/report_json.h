@@ -1,0 +1,42 @@
+// JSON rendering of api::DecomposeReport — the machine-readable face of
+// the facade, shared by `kcore decompose --json`, `kcore sweep --json`
+// and any bench that records full reports. One renderer keeps the field
+// names stable across every consumer; the schema is:
+//
+//   {
+//     "protocol": "bsp-async",
+//     "elapsed_ms": 12.3,
+//     "traffic": { "total_messages", "execution_time",
+//                  "rounds_executed", "converged" },
+//     "extras": { "kind": "async", ...variant fields... },
+//     "coreness": { "nodes", "kmax", "kavg",
+//                   "shells": [[k, count], ...] },   // nonzero shells only
+//     "telemetry": { "counters": {...}, "histograms": [...],
+//                    "samples": [...], ... }          // when harvested
+//   }
+//
+// The coreness vector itself is summarized as a shell-size histogram, not
+// dumped: reports stay O(kmax) regardless of graph size (use `decompose
+// --output` for the per-node values).
+#pragma once
+
+#include <iosfwd>
+
+#include "api/api.h"
+
+namespace kcore::util {
+class JsonWriter;
+}
+
+namespace kcore::api {
+
+/// Write `report` as one JSON object through `w` (which must be
+/// positioned where a value is expected: top level, after a key, or
+/// inside an array).
+void write_report_json(util::JsonWriter& w, const DecomposeReport& report);
+
+/// Convenience: one report as a complete JSON document on `os`
+/// (pretty-printed, trailing newline).
+void write_report_json(std::ostream& os, const DecomposeReport& report);
+
+}  // namespace kcore::api

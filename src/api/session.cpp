@@ -41,6 +41,25 @@ class RunnerPrepared final : public PreparedProtocol {
   ProtocolRegistry::Runner runner_;
 };
 
+/// One cell's RunOptions: the base with the swept axes applied, and the
+/// telemetry request clamped off for protocols whose Capabilities lack
+/// consumes_obs. A sweep mixing instrumented and uninstrumented
+/// protocols (bz baseline next to bsp-async) keeps its obs request
+/// where it can be honored instead of failing validation wholesale —
+/// the same collapse rule the threads/sched axes already follow.
+RunOptions options_for_cell(const RunOptions& base, const PlanCell& cell) {
+  RunOptions options = base;
+  options.threads = cell.threads;
+  options.sched = cell.sched;
+  options.seed = cell.seed;
+  const auto& registry = ProtocolRegistry::instance();
+  if (options.obs.any() && registry.contains(cell.protocol) &&
+      !registry.entry(cell.protocol).capabilities.consumes_obs) {
+    options.obs = obs::ObsOptions{};
+  }
+  return options;
+}
+
 }  // namespace
 
 Session::Session(const graph::Graph& g, std::string_view protocol,
@@ -144,10 +163,7 @@ std::vector<std::string> Plan::validate() const {
     DecomposeRequest request;
     request.graph = graph_;
     request.protocol = cell.protocol;
-    request.options = spec_.base;
-    request.options.threads = cell.threads;
-    request.options.sched = cell.sched;
-    request.options.seed = cell.seed;
+    request.options = options_for_cell(spec_.base, cell);
     for (auto& problem : api::validate(request)) {
       if (std::find(problems.begin(), problems.end(), problem) ==
           problems.end()) {
@@ -163,11 +179,8 @@ std::vector<PlanCellResult> Plan::run(
     const PlanObserverFactory& observer_factory) {
   std::vector<PlanCellResult> results;
   for (const auto& cell : cells()) {
-    RunOptions options = spec_.base;
-    options.threads = cell.threads;
-    options.sched = cell.sched;
-    options.seed = cell.seed;
-    Session session(*graph_, cell.protocol, options);
+    Session session(*graph_, cell.protocol,
+                    options_for_cell(spec_.base, cell));
 
     PlanCellResult result;
     result.cell = cell;

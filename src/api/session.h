@@ -111,7 +111,10 @@ struct PlanSpec {
   /// run() calls per cell (>= 1). The first pays prepare; the rest are
   /// warm.
   int repeats = 1;
-  /// Every other knob, shared by all cells.
+  /// Every other knob, shared by all cells. base.obs (telemetry) is
+  /// clamped off per cell for protocols without Capabilities::
+  /// consumes_obs, so a sweep mixing sequential baselines with the par
+  /// family can still request metrics for the runtimes that honor them.
   RunOptions base;
 };
 

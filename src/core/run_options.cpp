@@ -23,6 +23,21 @@ std::vector<std::string> RunOptions::validate() const {
     problems.push_back("faults.duplicate_probability must be in [0, 1], got " +
                        std::to_string(faults.duplicate_probability));
   }
+  if (obs.sample_period_ms < 0.0) {
+    problems.push_back("obs.sample_period_ms must be >= 0, got " +
+                       std::to_string(obs.sample_period_ms) +
+                       " (0 disables the sampler)");
+  }
+  if (obs.trace && obs.trace_capacity < 1) {
+    problems.push_back(
+        "obs.trace_capacity must be >= 1 when tracing is on "
+        "(events per worker ring)");
+  }
+  if (!obs::kEnabled && obs.any()) {
+    problems.push_back(
+        "this build has KCORE_OBS=OFF: telemetry (obs.metrics / obs.trace / "
+        "obs.sample_period_ms) cannot be enabled; rebuild with -DKCORE_OBS=ON");
+  }
   return problems;
 }
 

@@ -29,6 +29,7 @@
 
 #include "core/assignment.h"
 #include "graph/graph.h"
+#include "obs/options.h"
 #include "sim/engine.h"
 
 namespace kcore::core {
@@ -81,6 +82,13 @@ struct RunOptions : sim::EngineConfig {
   /// consumes it (policed by api::validate); coreness is policy-invariant,
   /// the relaxation count is not.
   SchedPolicy sched = SchedPolicy::kLifo;
+  /// Runtime telemetry selection (obs/options.h): per-worker metrics,
+  /// Chrome-trace span rings, background convergence sampler. Default:
+  /// record nothing. Only the real-execution protocols consume it
+  /// (policed by api::validate); requires a KCORE_OBS=ON build to turn
+  /// on. The harvested telemetry rides back in
+  /// api::DecomposeReport::telemetry.
+  obs::ObsOptions obs;
 
   /// Returns every problem found, empty when the options are usable.
   /// Messages are actionable ("num_hosts must be >= 1, got 0"), meant to

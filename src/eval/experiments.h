@@ -103,6 +103,41 @@ struct ErrorSeries {
 void print_fig4(std::span<const ErrorSeries> series, std::ostream& os);
 
 // ---------------------------------------------------------------------------
+// Figure 4, asynchronous edition — error vs TIME via the obs sampler
+// ---------------------------------------------------------------------------
+//
+// bsp-async has no rounds, so the round-observer series above cannot be
+// produced for it. Instead the telemetry sampler (RunOptions::obs.
+// sample_period_ms) snapshots the engine's shared estimate table while
+// it runs: by Theorem 2 every estimate is a non-increasing upper bound
+// on the coreness, so sum(estimates) - sum(coreness) is a monotone
+// non-increasing error proxy — the Fig. 4 curve with wall-clock time on
+// the x axis. Requires KCORE_OBS=ON; returns an empty vector otherwise.
+
+struct AsyncErrorPoint {
+  double t_ms = 0.0;        // since the sampler started
+  double sum_error = 0.0;   // sum(estimates) - sum(coreness), >= 0
+  std::int64_t outstanding = 0;
+  std::uint64_t worklist_depth = 0;
+};
+
+struct AsyncErrorSeries {
+  std::string name;
+  unsigned threads = 0;
+  double sample_period_ms = 0.0;
+  double truth_sum = 0.0;  // sum of the exact coreness values
+  double run_ms = 0.0;     // whole-run wall clock
+  /// Empty when the run finished before the first sampler tick — the
+  /// curve converged faster than one period, which is itself a result.
+  std::vector<AsyncErrorPoint> points;
+};
+
+[[nodiscard]] std::vector<AsyncErrorSeries> run_fig4_async(
+    const ExperimentOptions& options);
+void print_fig4_async(std::span<const AsyncErrorSeries> series,
+                      std::ostream& os);
+
+// ---------------------------------------------------------------------------
 // Figure 5 — one-to-many overhead per node vs number of hosts
 // ---------------------------------------------------------------------------
 

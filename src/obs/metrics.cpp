@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.h"
+
+namespace kcore::obs {
+
+std::uint64_t MetricsSnapshot::value(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const& {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Registry::Registry(unsigned workers) : workers_(workers) {
+  KCORE_CHECK_MSG(workers >= 1, "registry needs at least one worker");
+}
+
+Counter Registry::counter(std::string_view name) {
+  for (std::uint32_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i]->name == name) return Counter(i);
+  }
+  auto state = std::make_unique<CounterState>();
+  state->name = std::string(name);
+  state->slots = std::make_unique<PaddedCell[]>(workers_);
+  counters_.push_back(std::move(state));
+  return Counter(static_cast<std::uint32_t>(counters_.size() - 1));
+}
+
+HistogramId Registry::histogram(std::string_view name) {
+  for (std::uint32_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i]->name == name) return HistogramId(i);
+  }
+  auto state = std::make_unique<HistogramState>();
+  state->name = std::string(name);
+  state->rows = std::make_unique<HistRow[]>(workers_);
+  histograms_.push_back(std::move(state));
+  return HistogramId(static_cast<std::uint32_t>(histograms_.size() - 1));
+}
+
+void Registry::observe(HistogramId h, unsigned worker, std::uint64_t value) {
+  HistRow& row = histograms_[h.index_]->rows[worker];
+  // Bucket by bit width: 0 -> bucket 0, [2^(i-1), 2^i) -> bucket i,
+  // everything at or above 2^(kBuckets-2) shares the last bucket.
+  const auto bucket = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(std::bit_width(value)),
+      HistogramSnapshot::kBuckets - 1);
+  // Single-writer relaxed-read + release-store, same as Counter::add.
+  const auto bump = [](std::atomic<std::uint64_t>& cell, std::uint64_t delta) {
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_release);
+  };
+  bump(row.buckets[bucket], 1);
+  bump(row.count, 1);
+  bump(row.sum, value);
+  if (value > row.max.load(std::memory_order_relaxed)) {
+    row.max.store(value, std::memory_order_release);
+  }
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    std::uint64_t total = 0;
+    for (unsigned w = 0; w < workers_; ++w) {
+      total += c->slots[w].v.load(std::memory_order_acquire);
+    }
+    snap.counters.emplace_back(c->name, total);
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = h->name;
+    hs.buckets.assign(HistogramSnapshot::kBuckets, 0);
+    for (unsigned w = 0; w < workers_; ++w) {
+      const HistRow& row = h->rows[w];
+      for (std::uint32_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+        hs.buckets[b] += row.buckets[b].load(std::memory_order_acquire);
+      }
+      hs.count += row.count.load(std::memory_order_acquire);
+      hs.sum += row.sum.load(std::memory_order_acquire);
+      hs.max = std::max(hs.max, row.max.load(std::memory_order_acquire));
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+std::uint64_t Registry::total(Counter c) const {
+  std::uint64_t total = 0;
+  for (unsigned w = 0; w < workers_; ++w) {
+    total += counters_[c.index_]->slots[w].v.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void Registry::reset() {
+  for (const auto& c : counters_) {
+    for (unsigned w = 0; w < workers_; ++w) {
+      c->slots[w].v.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& h : histograms_) {
+    for (unsigned w = 0; w < workers_; ++w) {
+      HistRow& row = h->rows[w];
+      for (auto& b : row.buckets) b.store(0, std::memory_order_relaxed);
+      row.count.store(0, std::memory_order_relaxed);
+      row.sum.store(0, std::memory_order_relaxed);
+      row.max.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace kcore::obs

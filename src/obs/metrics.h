@@ -1,0 +1,161 @@
+// Layer 1 of kcore::obs — the lock-free per-worker metric registry.
+//
+// Write side: each counter owns one cache-line-padded atomic slot PER
+// WORKER; each histogram owns one cache-line-aligned bucket row per
+// worker. A worker only ever touches its own slot/row, so the hot-path
+// "increment" is a relaxed load + relaxed store on a line nobody else
+// writes — no RMW, no fence, no sharing. This is the same single-writer
+// tally discipline the async worklist uses, lifted into a reusable
+// registry.
+//
+// Read side: snapshot() aggregates every worker's slot with acquire
+// loads. Concurrent snapshots (e.g. the background sampler) see a
+// consistent-enough view: each individual cell is atomic, and because a
+// cell is written by exactly one thread the acquire load observes a
+// value that worker really had. Exactness is only guaranteed once the
+// workers have joined (tests pin the exactly-once property under an
+// owner-vs-thieves stress).
+//
+// Registration (counter()/histogram()) is single-threaded and must
+// happen before workers start — handles are stable indices, re-using a
+// name returns the existing handle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kcore::obs {
+
+/// Opaque counter handle (index into the registry). Default-constructed
+/// handles are invalid; Registry::add on one is a programming error.
+class Counter {
+ public:
+  Counter() = default;
+  [[nodiscard]] bool valid() const { return index_ != UINT32_MAX; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint32_t index) : index_(index) {}
+  std::uint32_t index_ = UINT32_MAX;
+};
+
+/// Opaque histogram handle.
+class HistogramId {
+ public:
+  HistogramId() = default;
+  [[nodiscard]] bool valid() const { return index_ != UINT32_MAX; }
+
+ private:
+  friend class Registry;
+  explicit HistogramId(std::uint32_t index) : index_(index) {}
+  std::uint32_t index_ = UINT32_MAX;
+};
+
+/// Aggregated power-of-two histogram. Bucket 0 counts zero values;
+/// bucket i (1 <= i < kBuckets-1) counts values v with bit_width(v) == i,
+/// i.e. v in [2^(i-1), 2^i); the last bucket absorbs everything larger.
+struct HistogramSnapshot {
+  static constexpr std::uint32_t kBuckets = 33;
+
+  std::string name;
+  std::vector<std::uint64_t> buckets;  // size kBuckets
+  std::uint64_t count = 0;             // total observations
+  std::uint64_t sum = 0;               // sum of observed values
+  std::uint64_t max = 0;               // largest observed value
+
+  /// Inclusive lower bound of bucket i's value range.
+  [[nodiscard]] static std::uint64_t bucket_floor(std::uint32_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Point-in-time aggregation of a Registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by name; 0 when absent.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+  /// Histogram by name; nullptr when absent. Lvalue-only: the pointer
+  /// aims into this snapshot, so calling it on a temporary
+  /// (`reg.snapshot().histogram(...)`) would dangle — bind the snapshot
+  /// to a local first.
+  [[nodiscard]] const HistogramSnapshot* histogram(
+      std::string_view name) const&;
+  const HistogramSnapshot* histogram(std::string_view name) const&& = delete;
+};
+
+/// The per-worker counter/histogram registry. See the file comment for
+/// the threading contract.
+class Registry {
+ public:
+  explicit Registry(unsigned workers);
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Register (or look up) a counter by name. Single-threaded; call
+  /// before the workers start.
+  Counter counter(std::string_view name);
+  /// Register (or look up) a histogram by name. Single-threaded.
+  HistogramId histogram(std::string_view name);
+
+  /// Hot path: add `n` to `worker`'s slot of counter `c`. Relaxed
+  /// load+store — `worker` must be the calling thread's own lane.
+  void add(Counter c, unsigned worker, std::uint64_t n = 1) {
+    std::atomic<std::uint64_t>& cell = counters_[c.index_]->slots[worker].v;
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_release);
+  }
+
+  /// Hot path: record `value` into `worker`'s row of histogram `h`.
+  void observe(HistogramId h, unsigned worker, std::uint64_t value);
+
+  /// Aggregate every worker's slots (acquire loads; callable from any
+  /// thread, exact once the workers have joined).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Aggregate a single counter (acquire loads).
+  [[nodiscard]] std::uint64_t total(Counter c) const;
+
+  /// Zero every slot. Single-threaded, between runs; keeps the
+  /// registered names and handles (warm runs allocate nothing).
+  void reset();
+
+ private:
+  // One atomic per worker, each on its own cache line: false sharing
+  // between workers would put the "disabled-cost" story on the floor.
+  struct alignas(64) PaddedCell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  struct CounterState {
+    std::string name;
+    std::unique_ptr<PaddedCell[]> slots;  // [workers_]
+  };
+  // A histogram row is one worker's buckets + count/sum/max, aligned so
+  // rows of different workers never share a line (buckets within a row
+  // are written only by the owner — intra-row sharing is free).
+  struct alignas(64) HistRow {
+    std::atomic<std::uint64_t> buckets[HistogramSnapshot::kBuckets] = {};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  struct HistogramState {
+    std::string name;
+    std::unique_ptr<HistRow[]> rows;  // [workers_]
+  };
+
+  unsigned workers_;
+  std::vector<std::unique_ptr<CounterState>> counters_;
+  std::vector<std::unique_ptr<HistogramState>> histograms_;
+};
+
+}  // namespace kcore::obs

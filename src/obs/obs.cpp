@@ -1,0 +1,139 @@
+#include "obs/obs.h"
+
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace kcore::obs {
+
+Recorder::Recorder(unsigned workers, const ObsOptions& options)
+    : options_(options),
+      workers_(workers),
+      registry_(workers),
+      epoch_(util::SteadyClock::now()) {
+  KCORE_CHECK_MSG(workers >= 1, "recorder needs at least one worker");
+  if (options_.trace) {
+    KCORE_CHECK_MSG(options_.trace_capacity >= 1,
+                    "trace ring capacity must be at least 1");
+    rings_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      rings_.emplace_back(options_.trace_capacity);
+    }
+  }
+  contexts_.resize(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    WorkerContext& ctx = contexts_[w];
+    ctx.ring_ = options_.trace ? &rings_[w] : nullptr;
+    ctx.registry_ = &registry_;
+    ctx.metrics_ = options_.metrics;
+    ctx.worker_ = w;
+    ctx.epoch_ = epoch_;
+  }
+}
+
+void Recorder::start_sampler(Sampler::Probe probe) {
+  if (options_.sample_period_ms <= 0.0) return;
+  KCORE_CHECK_MSG(sampler_ == nullptr, "sampler already started");
+  sampler_ =
+      std::make_unique<Sampler>(options_.sample_period_ms, std::move(probe));
+  sampler_->start();
+}
+
+void Recorder::stop_sampler() {
+  if (sampler_) sampler_->stop();
+}
+
+RunTelemetry Recorder::harvest() {
+  RunTelemetry t;
+  if (sampler_) {
+    sampler_->stop();
+    t.samples = sampler_->take();
+  }
+  t.sample_period_ms = options_.sample_period_ms;
+  if (options_.metrics) {
+    t.has_metrics = true;
+    t.metrics = registry_.snapshot();
+  }
+  if (options_.trace) {
+    t.has_trace = true;
+    t.trace.reserve(workers_);
+    for (unsigned w = 0; w < workers_; ++w) {
+      WorkerTraceDump dump;
+      dump.tid = w;
+      const auto events = rings_[w].events();
+      dump.events.assign(events.begin(), events.end());
+      dump.dropped = rings_[w].dropped();
+      t.trace_dropped += dump.dropped;
+      t.trace.push_back(std::move(dump));
+    }
+  }
+  return t;
+}
+
+void write_chrome_trace(std::ostream& os, const RunTelemetry& telemetry) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  // One thread_name metadata record per worker so Perfetto labels the
+  // tracks; then the recorded events, one object each.
+  for (const auto& dump : telemetry.trace) {
+    w.begin_object();
+    w.member("ph", "M");
+    w.member("pid", std::uint64_t{0});
+    w.member("tid", std::uint64_t{dump.tid});
+    w.member("name", "thread_name");
+    w.key("args").begin_object();
+    w.member("name", "worker " + std::to_string(dump.tid));
+    w.end_object();
+    w.end_object();
+  }
+  for (const auto& dump : telemetry.trace) {
+    for (const TraceEvent& e : dump.events) {
+      w.begin_object();
+      w.member("pid", std::uint64_t{0});
+      w.member("tid", std::uint64_t{dump.tid});
+      w.key("ph");
+      const char ph[2] = {e.ph, '\0'};
+      w.value(ph);
+      w.member("name", e.name);
+      w.member("ts", e.ts_us);
+      if (e.ph == 'X') {
+        w.member("dur", e.dur_us);
+      } else if (e.ph == 'i') {
+        w.member("s", "t");  // instant scope: thread
+      }
+      w.end_object();
+    }
+  }
+  // The sampler series as counter tracks ('C' events, one per field) so
+  // convergence is visible on the same timeline as the spans.
+  for (const Sample& s : telemetry.samples) {
+    const auto ts = static_cast<std::uint64_t>(s.t_ms * 1000.0);
+    const auto counter = [&](const char* name, double value) {
+      w.begin_object();
+      w.member("pid", std::uint64_t{0});
+      w.member("tid", std::uint64_t{0});
+      w.member("ph", "C");
+      w.member("name", name);
+      w.member("ts", ts);
+      w.key("args").begin_object();
+      w.member("value", value, 3);
+      w.end_object();
+      w.end_object();
+    };
+    counter("outstanding", static_cast<double>(s.outstanding));
+    counter("worklist_depth", static_cast<double>(s.worklist_depth));
+    counter("sum_estimates", s.sum_estimates);
+  }
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.member("dropped_events", telemetry.trace_dropped);
+  w.member("sample_period_ms", telemetry.sample_period_ms, 3);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace kcore::obs

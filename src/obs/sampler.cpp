@@ -1,0 +1,45 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+
+#include "util/clock.h"
+
+namespace kcore::obs {
+
+void Sampler::start() {
+  if (period_ms_ <= 0.0 || thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Sampler::stop() {
+  if (!thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_one();
+  thread_.join();
+}
+
+void Sampler::loop() {
+  const auto start = util::SteadyClock::now();
+  const auto period = std::chrono::duration<double, std::milli>(period_ms_);
+  auto next = start + std::chrono::duration_cast<
+                          util::SteadyClock::duration>(period);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (std::uint64_t tick = 1;; ++tick) {
+    // Absolute deadlines: a slow probe delays but never compounds drift.
+    if (cv_.wait_until(lock, next, [this] { return stop_requested_; })) {
+      return;  // stop() wins over a pending tick — no farewell sample
+    }
+    Sample s;
+    s.t_ms = util::ms_between(start, util::SteadyClock::now());
+    probe_(s);
+    samples_.push_back(s);
+    next = start + std::chrono::duration_cast<util::SteadyClock::duration>(
+                       period * static_cast<double>(tick + 1));
+  }
+}
+
+}  // namespace kcore::obs

@@ -1,0 +1,75 @@
+// Layer 3 of kcore::obs — the background convergence sampler.
+//
+// A single thread that wakes every `period_ms` and invokes a probe
+// closure supplied by the engine. The probe reads whatever shared state
+// the engine exposes for free — the quiescence detector's outstanding
+// count, the worklist's in-queue flags, the shared estimate table — and
+// fills a Sample. Because the async runtime's estimate table only ever
+// decreases (Theorem 2: estimates are upper bounds throughout), the
+// sampled sum-of-estimates is a monotone error proxy: plotting
+// (sum_estimates - sum_truth) / n against t_ms reproduces the paper's
+// Fig. 4 error-evolution curves WITHOUT the per-round observer that the
+// barrier-free engine cannot drive.
+//
+// Timing contract: the first sample is taken one full period after
+// start() — a run that finishes first records zero samples (pinned by
+// tests). stop() never takes a farewell sample; sample times are
+// measured from start().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace kcore::obs {
+
+/// One sampler tick. Engines fill what they can; unset fields stay 0.
+struct Sample {
+  double t_ms = 0.0;               // since Sampler::start()
+  std::int64_t outstanding = 0;    // quiescence detector's in-flight count
+  std::uint64_t worklist_depth = 0;  // items currently flagged in-queue
+  double sum_estimates = 0.0;      // Fig. 4 error-proxy numerator
+  std::uint64_t round = 0;         // last completed round (0 if roundless)
+};
+
+/// Background sampling thread. start()/stop() are called by the engine
+/// around its worker pool; the probe runs on the sampler thread and must
+/// only touch state that is safe to read concurrently with the workers.
+class Sampler {
+ public:
+  using Probe = std::function<void(Sample&)>;
+
+  Sampler(double period_ms, Probe probe)
+      : period_ms_(period_ms), probe_(std::move(probe)) {}
+  ~Sampler() { stop(); }
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Launch the sampler thread. No-op when period_ms <= 0.
+  void start();
+
+  /// Signal, join, and retire the thread. Idempotent.
+  void stop();
+
+  /// The collected series; call after stop().
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] std::vector<Sample> take() { return std::move(samples_); }
+
+ private:
+  void loop();
+
+  double period_ms_;
+  Probe probe_;
+  std::vector<Sample> samples_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace kcore::obs

@@ -1,0 +1,78 @@
+// Layer 2 of kcore::obs — per-worker trace rings.
+//
+// Each worker gets one fixed-capacity TraceRing and is its only writer;
+// events are appended with monotone timestamps read from one shared
+// steady-clock epoch, so a per-worker stream is sorted by construction.
+// When a ring is full, further events are DROPPED and counted — never
+// overwritten. Keeping the oldest events (the run's start-up, seeding
+// and first relaxations) makes truncation obvious in the viewer, keeps
+// per-worker timestamps monotone with no re-sort, and makes the drop
+// accounting exact: events() holds exactly `capacity` events and
+// dropped() says how many more there would have been. The drop counter
+// is surfaced in the Chrome-trace metadata and in `kcore --json`.
+//
+// Post-run, obs::Recorder::harvest() copies the rings into
+// WorkerTraceDumps and obs::write_chrome_trace() stitches them into one
+// Chrome trace-event JSON (the "traceEvents" array format; load it at
+// https://ui.perfetto.dev).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kcore::obs {
+
+/// One trace event. `name` must be a string with static storage duration
+/// (string literals) — the hot path stores the pointer, never copies.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_us = 0;   // microseconds since the recorder's epoch
+  std::uint64_t dur_us = 0;  // 0 for instants
+  char ph = 'X';             // 'X' complete span, 'i' instant
+};
+
+/// Fixed-capacity single-writer event buffer (see file comment for the
+/// full-ring policy). The writer thread calls record(); readers may call
+/// events()/dropped() only after the writer has quiesced (workers
+/// joined) — there is no concurrent-read support and none is needed.
+class TraceRing {
+ public:
+  explicit TraceRing(std::uint32_t capacity) { events_.reserve(capacity); }
+
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(events_.capacity());
+  }
+
+  /// Append; drops (and counts) once the ring is full. Never allocates
+  /// past the initial reservation.
+  void record(const TraceEvent& e) {
+    if (events_.size() == events_.capacity()) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(e);
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::span<const TraceEvent> events() const { return events_; }
+
+  /// Single-threaded reset between runs; keeps the allocation.
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// One worker's harvested trace: tid is the worker index.
+struct WorkerTraceDump {
+  unsigned tid = 0;
+  std::vector<TraceEvent> events;  // monotone ts_us by construction
+  std::uint64_t dropped = 0;
+};
+
+}  // namespace kcore::obs

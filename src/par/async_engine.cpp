@@ -21,6 +21,18 @@
 
 namespace kcore::par {
 
+AsyncStats AsyncStats::from_metrics(const obs::MetricsSnapshot& m,
+                                    std::uint64_t seeded) {
+  AsyncStats s;
+  s.relaxations = m.value("async.relaxations");
+  s.steals = m.value("async.steals");
+  s.re_enqueues = s.relaxations >= seeded ? s.relaxations - seeded : 0;
+  s.detector_passes = m.value("async.detector_passes");
+  s.skipped_recomputes = m.value("async.skipped_recomputes");
+  s.pop_scans = m.value("async.pop_scans");
+  return s;
+}
+
 namespace {
 
 using core::SchedPolicy;
@@ -156,9 +168,43 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
+  // Telemetry (obs/obs.h): null recorder unless this run asked for some
+  // AND the build has KCORE_OBS=ON — every hot-path hook below is an
+  // OBS_* macro (empty when compiled out) or a branch on a condition
+  // that constant-folds to false, so the uninstrumented run is unchanged.
+  auto recorder = obs::Recorder::make(workers, options.obs);
+  obs::Counter c_relax;
+  obs::Counter c_steals;
+  obs::Counter c_pop_scans;
+  obs::Counter c_skipped;
+  obs::Counter c_detector;
+  obs::Counter c_wakes;
+  obs::HistogramId h_relax_ns;
+  obs::HistogramId h_scan_len;
+  obs::HistogramId h_wake_fanout;
+  if (recorder && recorder->metrics_on()) {
+    obs::Registry& reg = recorder->registry();
+    c_relax = reg.counter("async.relaxations");
+    c_steals = reg.counter("async.steals");
+    c_pop_scans = reg.counter("async.pop_scans");
+    c_skipped = reg.counter("async.skipped_recomputes");
+    c_detector = reg.counter("async.detector_passes");
+    c_wakes = reg.counter("async.wakes");
+    h_relax_ns = reg.histogram("async.relax_ns");
+    h_scan_len = reg.histogram("async.acquire_scan_len");
+    h_wake_fanout = reg.histogram("async.wake_fanout");
+  }
+
   auto worker_fn = [&](unsigned w) {
     try {
       core::IndexScratch scratch;
+      obs::WorkerContext* const octx =
+          recorder ? recorder->worker(w) : nullptr;
+      // obs::kEnabled folds the whole metrics path away at compile time
+      // when the telemetry layer is off.
+      const bool metrics_on =
+          obs::kEnabled && octx != nullptr && octx->metrics();
+      std::uint64_t prev_scans = 0;
       std::uint64_t skipped = 0;
       unsigned idle_sweeps = 0;
       while (!worklist.done() && !abort.load(std::memory_order_relaxed)) {
@@ -167,7 +213,10 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
           // Nothing runnable HERE is not termination: another worker may
           // still be relaxing (its wakes will repopulate the lanes).
           // Only the detector's confirmed zero ends the run.
-          if (worklist.try_confirm()) break;
+          if (worklist.try_confirm()) {
+            OBS_INSTANT(octx, "quiescence.confirmed");
+            break;
+          }
           // Back off while dry: a long sequential dependency chain can
           // idle most of the pool, and a tight retry loop would ping-pong
           // the detector counter's cache line against the one worker
@@ -180,6 +229,17 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
           continue;
         }
         idle_sweeps = 0;
+        if (metrics_on) {
+          // Probes accumulated since the previous successful acquire —
+          // this acquire's bucket scan plus any dry sweeps in between.
+          const std::uint64_t scans = worklist.tally(w).pop_scans;
+          octx->observe(h_scan_len, scans - prev_scans);
+          prev_scans = scans;
+        }
+        // Spans the whole relaxation of u (through the wakes and the
+        // finish below — the destructor fires at the end of the
+        // iteration); also feeds the latency histogram, in ns.
+        OBS_SPAN(octx, "relax", h_relax_ns);
         worklist.begin(u);  // clear-before-read: the wakeup handshake
         if (sched == SchedPolicy::kDelta) {
           // Consume the pending-change accumulator: priority restarts
@@ -199,7 +259,10 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
               return est[nbrs[i]].load(std::memory_order_acquire);
             },
             fast_path);
-        if (fast_path) ++skipped;
+        if (fast_path) {
+          ++skipped;
+          OBS_COUNT(octx, c_skipped, 1);
+        }
         if (refined < k) {
           // Publish via CAS-min: est only decreases, and a concurrent
           // relaxation of u may already have gone lower.
@@ -218,6 +281,7 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
           // its (stronger) value.
           if (lowered) {
             const std::uint32_t drop = k - refined;
+            std::uint32_t woken = 0;
             // est[v] feeds the targeted filter and the bound bucket; a
             // lifo run with the filter off needs neither load.
             const bool need_neighbor_estimate =
@@ -244,7 +308,11 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
                       drop);
                   break;
               }
-              worklist.schedule(v, w, bucket);
+              if (worklist.schedule(v, w, bucket)) ++woken;
+            }
+            if (metrics_on) {
+              octx->add(c_wakes, woken);
+              octx->observe(h_wake_fanout, woken);
             }
           }
         }
@@ -262,6 +330,23 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
     }
   };
 
+  // The convergence sampler reads only concurrency-safe state: the
+  // detector's outstanding counter, the pool's racy size estimate, and
+  // acquire loads of the shared estimate table. Because estimates only
+  // decrease (Theorem 2), the sampled sum is a monotone Fig.-4 error
+  // proxy — no round observer needed.
+  if (recorder) {
+    recorder->start_sampler([&worklist, &est, n](obs::Sample& s) {
+      s.outstanding = worklist.detector().outstanding();
+      s.worklist_depth = worklist.size_estimate();
+      double sum = 0.0;
+      for (graph::NodeId u = 0; u < n; ++u) {
+        sum += static_cast<double>(est[u].load(std::memory_order_acquire));
+      }
+      s.sum_estimates = sum;
+    });
+  }
+
   const auto run_start = Clock::now();
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
@@ -269,6 +354,7 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
   worker_fn(0);
   for (auto& thread : pool) thread.join();
   const auto run_stop = Clock::now();
+  if (recorder) recorder->stop_sampler();
   if (first_error) std::rethrow_exception(first_error);
 
   result.setup_ms =
@@ -284,6 +370,29 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
   result.stats.skipped_recomputes =
       skipped_total.load(std::memory_order_relaxed);
   result.stats.pop_scans = worklist.total_pop_scans();
+
+  if (recorder) {
+    if (recorder->metrics_on()) {
+      // Fold the worklist's per-worker scheduling tallies into the
+      // registry (single-threaded here — the workers have joined), then
+      // rebuild the stats AS A VIEW over the snapshot: the registry is
+      // the single source of truth for every "async.*" number.
+      obs::Registry& reg = recorder->registry();
+      for (unsigned w = 0; w < workers; ++w) {
+        const auto tally = worklist.tally(w);
+        reg.add(c_relax, w, tally.enqueues);
+        reg.add(c_steals, w, tally.steals);
+        reg.add(c_pop_scans, w, tally.pop_scans);
+      }
+      reg.add(c_detector, 0, worklist.detector().passes());
+    }
+    auto telemetry =
+        std::make_shared<obs::RunTelemetry>(recorder->harvest());
+    if (telemetry->has_metrics) {
+      result.stats = AsyncStats::from_metrics(telemetry->metrics, n);
+    }
+    result.telemetry = std::move(telemetry);
+  }
 
   // The workers' join happens-before these loads: the table is final.
   result.coreness.resize(n);

@@ -51,6 +51,7 @@
 
 #include "core/run_options.h"
 #include "graph/graph.h"
+#include "obs/obs.h"
 #include "par/async_worklist.h"
 
 namespace kcore::par {
@@ -76,6 +77,14 @@ struct AsyncStats {
   /// scan overhead (== successful pops for lifo, higher for the bucketed
   /// policies and for dry steal sweeps).
   std::uint64_t pop_scans = 0;
+
+  /// Build the stats as a VIEW over an obs metrics snapshot (the
+  /// "async.*" counters the engine registers when options.obs.metrics is
+  /// on) — the registry is then the single source of truth and this
+  /// struct is a projection of it. `seeded` is the initial enqueue count
+  /// (n), subtracted to recover re_enqueues.
+  [[nodiscard]] static AsyncStats from_metrics(const obs::MetricsSnapshot& m,
+                                               std::uint64_t seeded);
 };
 
 /// Coreness plus the run profile.
@@ -85,6 +94,8 @@ struct AsyncResult {
   unsigned threads_used = 0;
   double setup_ms = 0.0;  // table/worklist reset + seeding
   double run_ms = 0.0;    // the chaotic-relaxation phase
+  /// Harvested telemetry; null unless options.obs asked for some.
+  std::shared_ptr<const obs::RunTelemetry> telemetry;
 };
 
 /// Run the async chaotic-relaxation decomposition. Consumed options:

@@ -179,6 +179,25 @@ class BasicAsyncWorklist {
     detector_.reset();
   }
 
+  /// One worker's scheduling tallies (obs/metrics bridge). Safe for the
+  /// OWNING worker during the run (it is the only writer) and for anyone
+  /// after the workers join.
+  struct WorkerTallyView {
+    std::uint64_t steals = 0;
+    std::uint64_t enqueues = 0;
+    std::uint64_t pop_scans = 0;
+  };
+  [[nodiscard]] WorkerTallyView tally(unsigned worker) const {
+    const WorkerTally& t = tallies_[worker];
+    return {t.steals, t.enqueues, t.pop_scans};
+  }
+
+  /// Racy estimate of items currently enqueued across all lanes
+  /// (sampler/monitoring only — never a correctness signal).
+  [[nodiscard]] std::uint64_t size_estimate() const {
+    return pool_.size_estimate();
+  }
+
   /// Post-run tallies, summed over workers (call after the workers join).
   [[nodiscard]] std::uint64_t total_steals() const {
     std::uint64_t total = 0;

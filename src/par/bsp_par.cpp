@@ -17,6 +17,7 @@
 // and so ThreadSanitizer can vouch for the whole runtime.
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -127,6 +128,33 @@ BspParResult run_bsp_par_prepared(const graph::Graph& g,
                              : static_cast<std::uint64_t>(n) * 2 + 64;
   const bool targeted = options.targeted_send;
 
+  // Telemetry (obs/obs.h): per-worker counters + superstep latency
+  // histogram when metrics are on; per-round trace spans come from
+  // run_round_loop's decorator. The sampler reads the tables through the
+  // atomic `live` view published by the completion step below — the
+  // epoch POINTERS are plain and swap at the barrier, so the sampler
+  // must never chase them directly.
+  auto recorder = obs::Recorder::make(workers, options.obs);
+  obs::Counter c_relaxed;
+  obs::Counter c_emitted;
+  obs::Counter c_cross;
+  obs::HistogramId h_superstep_ns;
+  if (recorder && recorder->metrics_on()) {
+    obs::Registry& reg = recorder->registry();
+    c_relaxed = reg.counter("bsp.changed");
+    c_emitted = reg.counter("bsp.emitted");
+    c_cross = reg.counter("bsp.cross_worker");
+    h_superstep_ns = reg.histogram("bsp.superstep_ns");
+  }
+  struct LiveView {
+    std::atomic<const std::vector<std::atomic<graph::NodeId>>*> est{nullptr};
+    std::atomic<const std::vector<std::atomic<std::uint8_t>>*> act{nullptr};
+    std::atomic<std::uint64_t> round{0};
+  };
+  LiveView live;
+  live.est.store(est_prev, std::memory_order_release);
+  live.act.store(act_cur, std::memory_order_release);
+
   std::vector<WorkerTally> tallies(workers);
   // Cache-line-aligned like WorkerTally: the scratch's epoch counter is
   // written on every relaxation, so adjacent workers must not share a
@@ -137,6 +165,8 @@ BspParResult run_bsp_par_prepared(const graph::Graph& g,
   std::vector<WorkerScratch> scratch(workers);
 
   auto body = [&](unsigned w, std::uint64_t /*round*/) {
+    obs::WorkerContext* const octx = recorder ? recorder->worker(w) : nullptr;
+    OBS_SPAN(octx, "superstep", h_superstep_ns);
     auto& prev = *est_prev;
     auto& next = *est_next;
     auto& cur_flags = *act_cur;
@@ -178,6 +208,11 @@ BspParResult run_bsp_par_prepared(const graph::Graph& g,
         }
       }
     }
+    if (obs::kEnabled && octx != nullptr && octx->metrics()) {
+      octx->add(c_relaxed, tally.changed);
+      octx->add(c_emitted, tally.emitted);
+      octx->add(c_cross, tally.cross_worker);
+    }
     tallies[w] = tally;
   };
 
@@ -204,6 +239,12 @@ BspParResult run_bsp_par_prepared(const graph::Graph& g,
     }
     std::swap(est_prev, est_next);
     std::swap(act_cur, act_next);
+    // Publish the freshest epoch for the sampler (release pairs with its
+    // acquire; the tables themselves are atomic, so sampling mid-round
+    // is safe — just a snapshot of a moving target).
+    live.est.store(est_prev, std::memory_order_release);
+    live.act.store(act_cur, std::memory_order_release);
+    live.round.store(round, std::memory_order_release);
     if (changed == 0) {
       result.stats.converged = true;
       return false;
@@ -211,12 +252,36 @@ BspParResult run_bsp_par_prepared(const graph::Graph& g,
     return round < limit;
   };
 
+  if (recorder) {
+    recorder->start_sampler([&live, n](obs::Sample& s) {
+      const auto* est = live.est.load(std::memory_order_acquire);
+      const auto* act = live.act.load(std::memory_order_acquire);
+      s.round = live.round.load(std::memory_order_acquire);
+      double sum = 0.0;
+      for (graph::NodeId u = 0; u < n; ++u) {
+        sum += static_cast<double>((*est)[u].load(std::memory_order_relaxed));
+      }
+      s.sum_estimates = sum;
+      std::uint64_t depth = 0;
+      for (graph::NodeId u = 0; u < n; ++u) {
+        depth += (*act)[u].load(std::memory_order_relaxed) != 0 ? 1 : 0;
+      }
+      s.worklist_depth = depth;  // dirty vertices awaiting recomputation
+    });
+  }
+
   const auto run_start = util::SteadyClock::now();
-  run_round_loop(workers, body, completion);
+  run_round_loop(workers, body, completion, recorder.get());
   const auto run_stop = util::SteadyClock::now();
+  if (recorder) recorder->stop_sampler();
   result.setup_ms = util::ms_between(setup_start, run_start);
   result.run_ms =
       util::ms_between(run_start, run_stop);
+
+  if (recorder) {
+    result.telemetry =
+        std::make_shared<obs::RunTelemetry>(recorder->harvest());
+  }
 
   // After the final swap the freshest epoch is est_prev.
   result.coreness.resize(n);

@@ -63,6 +63,9 @@ struct EngineConfig {
   unsigned threads = 0;
   /// Hard round cap; 0 picks the simulator's default (4N + 64).
   std::uint64_t max_rounds = 0;
+  /// Optional telemetry recorder (obs/obs.h) for per-round trace spans;
+  /// borrowed, must outlive run(). Null: no tracing.
+  obs::Recorder* recorder = nullptr;
 };
 
 // Unconstrained template parameter to match the friend forward
@@ -161,7 +164,7 @@ class Engine {
     };
 
     outboxes_.assign(workers_, {});
-    run_round_loop(workers_, body, completion);
+    run_round_loop(workers_, body, completion, config_.recorder);
     outboxes_.clear();
     return stats_;
   }

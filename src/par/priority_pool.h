@@ -181,6 +181,26 @@ class PriorityPool {
     return lanes_[worker]->deque(bucket).size_estimate();
   }
 
+  /// Racy whole-pool size estimate: sums the per-deque estimates of
+  /// every hinted bucket (relaxed loads only — safe concurrently with
+  /// the workers, but the value is a snapshot of a moving target). Used
+  /// by the obs sampler for worklist-depth time series; never a
+  /// correctness signal.
+  [[nodiscard]] std::uint64_t size_estimate() const {
+    std::uint64_t total = 0;
+    for (unsigned w = 0; w < lanes_.size(); ++w) {
+      std::uint64_t hint = hint_bitmap(w);
+      while (hint != 0) {
+        const auto bucket =
+            static_cast<std::uint32_t>(std::countr_zero(hint));
+        hint &= hint - 1;
+        const std::int64_t size = bucket_size_estimate(w, bucket);
+        if (size > 0) total += static_cast<std::uint64_t>(size);
+      }
+    }
+    return total;
+  }
+
  private:
   struct alignas(64) Lane {
     Lane(std::uint32_t buckets, unsigned workers)

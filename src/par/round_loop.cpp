@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace kcore::par {
@@ -37,10 +38,30 @@ struct LoopState {
 }  // namespace
 
 void run_round_loop(unsigned workers, const RoundBody& body,
-                    const RoundCompletion& completion) {
+                    const RoundCompletion& completion,
+                    obs::Recorder* recorder) {
   KCORE_CHECK_MSG(workers >= 1, "round loop needs at least one worker");
   KCORE_CHECK_MSG(body != nullptr && completion != nullptr,
                   "round loop needs a body and a completion step");
+
+  // Tracing decorator: per-worker "round" spans plus a worker-0
+  // "round.completion" span per barrier phase (see round_loop.h for why
+  // that cross-thread record is race-free), then recurse without the
+  // recorder so the loop logic below stays single-copy.
+  if (obs::kEnabled && recorder != nullptr) {
+    const RoundBody traced_body = [&recorder, &body](unsigned w,
+                                                     std::uint64_t round) {
+      OBS_SPAN(recorder->worker(w), "round");
+      body(w, round);
+    };
+    const RoundCompletion traced_completion =
+        [&recorder, &completion](std::uint64_t round) {
+          OBS_SPAN(recorder->worker(0), "round.completion");
+          return completion(round);
+        };
+    run_round_loop(workers, traced_body, traced_completion, nullptr);
+    return;
+  }
 
   if (workers == 1) {
     for (std::uint64_t round = 1;; ++round) {

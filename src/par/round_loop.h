@@ -33,6 +33,10 @@
 #include <cstdint>
 #include <functional>
 
+namespace kcore::obs {
+class Recorder;
+}  // namespace kcore::obs
+
 namespace kcore::par {
 
 /// Per-round worker job: (worker index in [0, workers), 1-based round).
@@ -45,7 +49,15 @@ using RoundCompletion = std::function<bool(std::uint64_t round)>;
 /// Run the loop. `workers` must be >= 1; workers == 1 degenerates to a
 /// plain sequential loop on the calling thread (no threads, no barrier),
 /// so single-threaded runs carry zero synchronization overhead.
+///
+/// `recorder` (optional, obs/obs.h): when non-null and tracing is on,
+/// every body(w, r) is wrapped in a per-worker "round" trace span and
+/// every completion(r) in a "round.completion" span. The completion span
+/// is recorded into worker 0's ring from whichever thread runs the
+/// barrier phase — race-free, because the barrier sequences it against
+/// worker 0's own body spans. Null recorder adds zero overhead.
 void run_round_loop(unsigned workers, const RoundBody& body,
-                    const RoundCompletion& completion);
+                    const RoundCompletion& completion,
+                    obs::Recorder* recorder = nullptr);
 
 }  // namespace kcore::par

@@ -1,6 +1,8 @@
 #include "par/runtime.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -66,6 +68,15 @@ OneToManyParResult run_one_to_many_par_prepared(
           ? options.max_rounds
           : static_cast<std::uint64_t>(g.num_nodes()) * 2 + 64;
 
+  // Telemetry: sized to the engine's CLAMPED worker count (the recorder
+  // hands out one context per worker). No sampler for this runtime —
+  // host state machines expose no concurrency-safe estimate table.
+  const unsigned clamped_workers = std::min<unsigned>(
+      resolve_threads(options.threads),
+      static_cast<unsigned>(prepared.hosts.size()));
+  auto recorder = obs::Recorder::make(clamped_workers, options.obs);
+  engine_config.recorder = recorder.get();
+
   // Copy the pristine hosts: each run starts from the exact post-prepare
   // protocol state, so repeated runs are bit-identical.
   Engine<core::OneToManyHost> engine(prepared.hosts, engine_config);
@@ -92,6 +103,18 @@ OneToManyParResult run_one_to_many_par_prepared(
   result.threads_used = engine.threads_used();
   result.setup_ms = ms_between(setup_start, run_start);
   result.run_ms = ms_between(run_start, run_stop);
+  if (recorder) {
+    if (recorder->metrics_on()) {
+      // Deterministic protocol totals, folded in post-run (the traffic
+      // stats are already exact; the registry view just makes them
+      // machine-readable alongside the other runtimes' counters).
+      obs::Registry& reg = recorder->registry();
+      reg.add(reg.counter("par.rounds"), 0, traffic.rounds_executed);
+      reg.add(reg.counter("par.messages"), 0, traffic.total_messages);
+    }
+    result.telemetry =
+        std::make_shared<obs::RunTelemetry>(recorder->harvest());
+  }
   return result;
 }
 

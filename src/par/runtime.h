@@ -33,12 +33,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bsp/pregel.h"
 #include "core/one_to_many.h"
 #include "core/run_options.h"
 #include "graph/graph.h"
+#include "obs/obs.h"
 
 namespace kcore::par {
 
@@ -51,6 +53,10 @@ struct OneToManyParResult : core::OneToManyResult {
   /// honestly: only run_ms is expected to shrink with threads.
   double setup_ms = 0.0;
   double run_ms = 0.0;
+  /// Harvested telemetry; null unless options.obs asked for some. The
+  /// convergence sampler is not wired for this runtime (host state has
+  /// no concurrency-safe estimate table) — metrics and round traces are.
+  std::shared_ptr<const obs::RunTelemetry> telemetry;
 };
 
 /// BSP result: coreness plus the framework statistics (messages_* count
@@ -62,6 +68,8 @@ struct BspParResult {
   unsigned threads_used = 0;
   double setup_ms = 0.0;  // table allocation + shard assignment
   double run_ms = 0.0;    // the parallel superstep loop
+  /// Harvested telemetry; null unless options.obs asked for some.
+  std::shared_ptr<const obs::RunTelemetry> telemetry;
 };
 
 /// Run the §3.2 one-to-many protocol on real threads. Consumed options:

@@ -1,0 +1,177 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace kcore::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (int i = 0; i < depth_ * indent_; ++i) os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  KCORE_CHECK_MSG(depth_ == 0 || scopes_[depth_ - 1] == Scope::kArray,
+                  "JSON object members need a key() first");
+  KCORE_CHECK_MSG(depth_ > 0 || !wrote_any_,
+                  "only one top-level JSON value per writer");
+  if (depth_ > 0) {
+    if (!first_in_scope_[depth_ - 1]) os_ << ',';
+    first_in_scope_[depth_ - 1] = false;
+    newline_indent();
+  }
+  wrote_any_ = true;
+}
+
+void JsonWriter::open(Scope s, char brace) {
+  before_value();
+  KCORE_CHECK_MSG(depth_ < kMaxDepth, "JSON nesting too deep");
+  os_ << brace;
+  scopes_[depth_] = s;
+  first_in_scope_[depth_] = true;
+  ++depth_;
+}
+
+void JsonWriter::close(Scope s, char brace) {
+  KCORE_CHECK_MSG(depth_ > 0 && scopes_[depth_ - 1] == s && !after_key_,
+                  "unbalanced JSON begin/end");
+  const bool empty = first_in_scope_[depth_ - 1];
+  --depth_;
+  if (!empty) newline_indent();
+  os_ << brace;
+  if (depth_ == 0) os_ << '\n';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open(Scope::kObject, '{');
+  return *this;
+}
+JsonWriter& JsonWriter::end_object() {
+  close(Scope::kObject, '}');
+  return *this;
+}
+JsonWriter& JsonWriter::begin_array() {
+  open(Scope::kArray, '[');
+  return *this;
+}
+JsonWriter& JsonWriter::end_array() {
+  close(Scope::kArray, ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  KCORE_CHECK_MSG(depth_ > 0 && scopes_[depth_ - 1] == Scope::kObject &&
+                      !after_key_,
+                  "key() only valid inside an object");
+  if (!first_in_scope_[depth_ - 1]) os_ << ',';
+  first_in_scope_[depth_ - 1] = false;
+  newline_indent();
+  os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  after_key_ = true;
+  wrote_any_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, int digits) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Infinity
+    return *this;
+  }
+  std::ostringstream tmp;  // isolate formatting state from os_
+  if (digits < 0) {
+    tmp.precision(std::numeric_limits<double>::max_digits10);
+    tmp << v;
+  } else {
+    tmp.setf(std::ios::fixed);
+    tmp.precision(digits);
+    tmp << v;
+  }
+  os_ << tmp.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace kcore::util

@@ -1,0 +1,195 @@
+// util::JsonWriter — escaping, comma placement, nesting, number
+// formatting. The writer backs every JSON emitter in the repo (Chrome
+// traces, `kcore --json`, the bench result files), so its output
+// contract is pinned byte-for-byte here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace kcore {
+namespace {
+
+using util::JsonWriter;
+
+std::string compact(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  body(w);
+  EXPECT_TRUE(w.complete());
+  std::string s = os.str();
+  // The writer terminates a top-level value with '\n'; strip it so the
+  // expectations below read as pure JSON.
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+// --- escaping ---------------------------------------------------------------
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(util::json_escape("hello world"), "hello world");
+  EXPECT_EQ(util::json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(util::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(util::json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesNamedControlCharacters) {
+  EXPECT_EQ(util::json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+}
+
+TEST(JsonEscape, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(util::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(util::json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8Alone) {
+  // Multi-byte sequences are > 0x7f bytes — must pass through untouched.
+  EXPECT_EQ(util::json_escape("k\xc3\xa4rnel"), "k\xc3\xa4rnel");
+}
+
+// --- writer: structure ------------------------------------------------------
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_object().end_object(); }),
+            "{}");
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_array().end_array(); }),
+            "[]");
+}
+
+TEST(JsonWriter, CommaPlacementInObjectsAndArrays) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.member("a", std::uint64_t{1});
+    w.member("b", std::uint64_t{2});
+    w.key("c").begin_array();
+    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{2});
+    w.value(std::uint64_t{3});
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"a":1,"b":2,"c":[1,2,3]})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.begin_object();
+    w.key("inner").begin_array();
+    w.begin_object();
+    w.member("x", true);
+    w.end_object();
+    w.end_array();
+    w.end_object();
+    w.null();
+    w.end_array();
+  });
+  EXPECT_EQ(out, R"([{"inner":[{"x":true}]},null])");
+}
+
+TEST(JsonWriter, KeysAreEscaped) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.member("we\"ird\n", "va\\lue");
+    w.end_object();
+  });
+  EXPECT_EQ(out, "{\"we\\\"ird\\n\":\"va\\\\lue\"}");
+}
+
+// --- writer: scalars --------------------------------------------------------
+
+TEST(JsonWriter, ScalarFormats) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.value(true);
+    w.value(false);
+    w.value(std::uint64_t{18446744073709551615ULL});
+    w.value(std::int64_t{-42});
+    w.value("s");
+    w.null();
+    w.end_array();
+  });
+  EXPECT_EQ(out, R"([true,false,18446744073709551615,-42,"s",null])");
+}
+
+TEST(JsonWriter, FixedPrecisionDoubles) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.value(1.23456, 2);
+    w.value(0.0, 1);
+    w.value(-3.5, 3);
+    w.end_array();
+  });
+  EXPECT_EQ(out, "[1.23,0.0,-3.500]");
+}
+
+TEST(JsonWriter, RoundTripDoubles) {
+  const std::string out =
+      compact([](JsonWriter& w) { w.value(0.5); });
+  EXPECT_EQ(out, "0.5");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
+    w.end_array();
+  });
+  EXPECT_EQ(out, "[null,null,null]");
+}
+
+// --- writer: pretty printing ------------------------------------------------
+
+TEST(JsonWriter, IndentedOutput) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.begin_object();
+  w.member("a", std::uint64_t{1});
+  w.key("b").begin_array();
+  w.value(std::uint64_t{2});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n");
+}
+
+// --- writer: misuse is checked ----------------------------------------------
+
+TEST(JsonWriter, MisuseThrowsCheckError) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    // A bare value inside an object (no key first) is a programming
+    // error.
+    EXPECT_THROW(w.value(std::uint64_t{1}), util::CheckError);
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), util::CheckError);
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.value("done");
+    // Two top-level values.
+    EXPECT_THROW(w.value("again"), util::CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace kcore

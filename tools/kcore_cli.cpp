@@ -37,7 +37,9 @@
 
 #include "api/api.h"
 #include "api/cli_options.h"
+#include "api/report_json.h"
 #include "api/session.h"
+#include "obs/obs.h"
 #include "eval/datasets.h"
 #include "graph/dot_export.h"
 #include "graph/edge_list.h"
@@ -46,6 +48,7 @@
 #include "graph/stats.h"
 #include "seq/kcore_seq.h"
 #include "util/args.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -65,11 +68,15 @@ int usage() {
                "[--progress N]\n"
             << "            [--repeat N]   (prepare once, run N times, "
                "min/median/max wall-ms)\n"
+            << "            [--json]       (full report as JSON on stdout)\n"
+            << "            [--trace FILE] (Chrome trace-event JSON; load "
+               "at ui.perfetto.dev)\n"
             << "  sweep     --input FILE [--algos a,b,..] "
                "[--thread-counts 1,2,..]\n"
             << "            [--scheds lifo,delta,bound] [--seeds 1,2,..] "
                "[--repeat N]\n"
-            << "            [run options]\n"
+            << "            [run options] [--json]  (NDJSON: one report "
+               "per run)\n"
             << "  generate  --family "
                "chain|cycle|clique|star|grid|er|ba|ws|rmat|regular|worst\n"
             << "            [--n N] [--m M] [--k K] [--beta B] [--seed S] "
@@ -144,7 +151,11 @@ int cmd_decompose(const util::Args& args) {
     std::cerr << "unknown --algo '" << algo << "'\n";
     return usage();
   }
-  const auto options = api::run_options_from_args(args);
+  auto options = api::run_options_from_args(args);
+  // --trace FILE turns on span recording; the stitched Chrome trace is
+  // written after the (last) run.
+  const auto trace_path = args.get("trace");
+  if (trace_path.has_value()) options.obs.trace = true;
 
   // --progress N streams one estimate-span summary every N rounds. The
   // capability descriptor says whether the protocol streams at all.
@@ -189,6 +200,23 @@ int cmd_decompose(const util::Args& args) {
                     "protocol did not converge within the round cap");
     wall_ms.push_back(report.elapsed_ms);
   }
+  if (trace_path.has_value()) {
+    KCORE_CHECK_MSG(report.telemetry != nullptr && report.telemetry->has_trace,
+                    "run produced no trace (is this build KCORE_OBS=ON?)");
+    std::ofstream trace_out(*trace_path);
+    KCORE_CHECK_MSG(trace_out.good(), "cannot open " << *trace_path);
+    obs::write_chrome_trace(trace_out, *report.telemetry);
+    std::cerr << "wrote " << *trace_path << " ("
+              << report.telemetry->trace.size() << " worker tracks, "
+              << report.telemetry->trace_dropped << " events dropped)\n";
+  }
+  if (args.has("json")) {
+    // Machine-readable path: the full report (final repeat) on stdout,
+    // nothing else.
+    api::write_report_json(std::cout, report);
+    return 0;
+  }
+
   const std::string detail = detail_of(report);
   const auto coreness = std::move(report.coreness);
 
@@ -217,6 +245,26 @@ int cmd_decompose(const util::Args& args) {
               << " first=" << util::fmt_double(wall_ms.front(), 2)
               << " (prepare=" << util::fmt_double(session.prepare_ms(), 2)
               << "ms amortized after run 1)\n";
+  }
+  if (options.obs.metrics && report.telemetry != nullptr &&
+      report.telemetry->has_metrics) {
+    // Aggregated registry snapshot of the final repeat (counters sum
+    // over all workers; histograms merge bucket-wise).
+    const auto& metrics = report.telemetry->metrics;
+    util::TableWriter counters({"counter", "value"});
+    for (const auto& [name, value] : metrics.counters) {
+      counters.add_row({name, util::fmt_grouped(value)});
+    }
+    counters.print(std::cout);
+    if (!metrics.histograms.empty()) {
+      util::TableWriter hists({"histogram", "count", "mean", "max"});
+      for (const auto& hist : metrics.histograms) {
+        hists.add_row({hist.name, util::fmt_grouped(hist.count),
+                       util::fmt_double(hist.mean(), 1),
+                       util::fmt_grouped(hist.max)});
+      }
+      hists.print(std::cout);
+    }
   }
   if (args.has("summary")) {
     util::TableWriter table({"shell", "nodes"});
@@ -429,6 +477,29 @@ int cmd_sweep(const util::Args& args) {
     std::cerr << "invalid sweep:\n";
     for (const auto& problem : problems) std::cerr << "  " << problem << "\n";
     return 2;
+  }
+
+  if (args.has("json")) {
+    // NDJSON: one compact report object per run, tagged with the cell
+    // coordinates and repeat index — `python3 -m json.tool` validates a
+    // single line, jq streams the lot.
+    const auto results = plan.run(
+        [](const api::PlanCell& cell, int repeat,
+           const api::DecomposeReport& report) {
+          util::JsonWriter w(std::cout);
+          w.begin_object();
+          w.member("algo", cell.protocol);
+          w.member("threads", static_cast<std::uint64_t>(cell.threads));
+          w.member("sched", api::to_string(cell.sched));
+          w.member("seed", cell.seed);
+          w.member("repeat", static_cast<std::int64_t>(repeat));
+          w.key("report");
+          api::write_report_json(w, report);
+          w.end_object();
+        });
+    std::cerr << results.size() << " cells x " << spec.repeats
+              << " repeats\n";
+    return 0;
   }
 
   util::TableWriter table({"algo", "threads", "sched", "seed", "reps",
