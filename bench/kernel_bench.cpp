@@ -297,11 +297,14 @@ void bench_allocations(bool quick, std::vector<Record>& records,
   // the engine is reused; the residue is the returned coreness vector
   // and the result plumbing.
   {
-    auto prepared = par::prepare_bsp_async(g, options);
-    (void)par::run_bsp_async_prepared(g, prepared, options);  // warm-up
+    const auto prepared = par::prepare_bsp_async(g, options);
+    par::AsyncRunContext context(prepared, g.num_nodes());
+    // warm-up
+    (void)par::run_bsp_async_prepared(g, prepared, context, options);
     const std::uint64_t before =
         g_allocations.load(std::memory_order_relaxed);
-    const auto result = par::run_bsp_async_prepared(g, prepared, options);
+    const auto result =
+        par::run_bsp_async_prepared(g, prepared, context, options);
     const std::uint64_t allocs =
         g_allocations.load(std::memory_order_relaxed) - before;
     KCORE_CHECK_MSG(result.coreness.size() == n, "bad warm run");

@@ -1,0 +1,244 @@
+// Serving study: coreness-as-a-service throughput and tail latency.
+//
+// The ROADMAP's production framing is a decomposition SERVED under
+// repeated traffic, not recomputed in a batch job. This bench measures
+// exactly that path: one api::Session per protocol, prepared once, then
+// K closed-loop client threads hammering session.run() concurrently —
+// the Session's shared immutable prepared state plus a leased per-run
+// context per query (see api/session.h). Each client issues a fixed
+// number of queries back-to-back; we record per-query latency and
+// aggregate:
+//
+//   {"protocol", "clients", "queries", "prepare_ms", "wall_ms",
+//    "queries_per_sec", "lat_ms": {mean, p50, p95, p99, max}}
+//
+// into BENCH_serving.json (override with KCORE_BENCH_JSON). Every
+// query's coreness is checked against the sequential bz reference, so
+// the numbers can't drift away from correctness. Per-query work runs at
+// threads=1 — concurrency comes from the K clients, not from
+// oversubscribing each query — which makes queries_per_sec vs clients
+// the serving-scalability read, against each protocol's 1-client
+// baseline. Honors KCORE_QUICK for CI smoke runs.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "api/session.h"
+#include "eval/experiments.h"
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace kcore;
+using Clock = util::SteadyClock;
+
+struct Record {
+  std::string protocol;
+  unsigned clients = 0;
+  std::uint64_t queries = 0;
+  double prepare_ms = 0.0;
+  double wall_ms = 0.0;
+  double queries_per_sec = 0.0;
+  double lat_mean_ms = 0.0;
+  double lat_p50_ms = 0.0;
+  double lat_p95_ms = 0.0;
+  double lat_p99_ms = 0.0;
+  double lat_max_ms = 0.0;
+};
+
+std::string json_of(const std::vector<Record>& records) {
+  std::ostringstream out;
+  util::JsonWriter w(out, 2);
+  w.begin_object();
+  w.member("bench", "serving_study");
+  // A 1-core runner structurally cannot scale queries/sec with clients;
+  // record the budget so the reader can tell that apart from a serving
+  // regression.
+  w.member("hardware_threads",
+           std::uint64_t{std::thread::hardware_concurrency()});
+  w.key("records").begin_array();
+  for (const Record& r : records) {
+    w.begin_object();
+    w.member("protocol", r.protocol);
+    w.member("clients", std::uint64_t{r.clients});
+    w.member("queries", r.queries);
+    w.member("prepare_ms", r.prepare_ms, 3);
+    w.member("wall_ms", r.wall_ms, 3);
+    w.member("queries_per_sec", r.queries_per_sec, 3);
+    w.key("lat_ms").begin_object();
+    w.member("mean", r.lat_mean_ms, 3);
+    w.member("p50", r.lat_p50_ms, 3);
+    w.member("p95", r.lat_p95_ms, 3);
+    w.member("p99", r.lat_p99_ms, 3);
+    w.member("max", r.lat_max_ms, 3);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out.str();
+}
+
+/// Client counts to sweep: 1, 2, 4 and the hardware's own width.
+std::vector<unsigned> client_sweep(bool quick) {
+  std::vector<unsigned> counts{1, 2, 4};
+  if (quick) counts = {1, 2};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (!quick && hw > 0 &&
+      std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  return counts;
+}
+
+/// One serving cell: `clients` closed-loop threads, `per_client` queries
+/// each, over ONE shared prepared Session. Every query's coreness is
+/// checked against `reference`.
+Record serve_cell(const graph::Graph& g, const std::string& protocol,
+                  unsigned clients, int per_client,
+                  const std::vector<graph::NodeId>& reference,
+                  std::uint64_t seed) {
+  api::RunOptions options;
+  const auto& registry = api::ProtocolRegistry::instance();
+  if (registry.entry(protocol).capabilities.consumes_threads) {
+    options.threads = 1;  // per-query width; concurrency = the K clients
+  }
+  options.seed = seed;
+  api::Session session(g, protocol, options);
+  session.prepare();
+
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      auto& mine = latencies[c];
+      mine.reserve(static_cast<std::size_t>(per_client));
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int q = 0; q < per_client; ++q) {
+        const auto start = Clock::now();
+        const api::DecomposeReport report = session.run();
+        mine.push_back(util::ms_between(start, Clock::now()));
+        if (report.coreness != reference) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  const auto wall_start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  const double wall_ms = util::ms_between(wall_start, Clock::now());
+
+  KCORE_CHECK_MSG(mismatches.load() == 0,
+                  protocol << " served " << mismatches.load()
+                           << " queries whose coreness differs from the "
+                              "sequential reference");
+  const std::uint64_t queries =
+      static_cast<std::uint64_t>(clients) *
+      static_cast<std::uint64_t>(per_client);
+  KCORE_CHECK_MSG(session.runs_completed() == queries,
+                  "run counter saw " << session.runs_completed() << " of "
+                                     << queries << " queries");
+
+  util::Sample sample;
+  sample.reserve(queries);
+  for (const auto& mine : latencies) {
+    for (const double ms : mine) sample.add(ms);
+  }
+  Record r;
+  r.protocol = protocol;
+  r.clients = clients;
+  r.queries = queries;
+  r.prepare_ms = session.prepare_ms();
+  r.wall_ms = wall_ms;
+  r.queries_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(queries) * 1000.0 / wall_ms : 0.0;
+  r.lat_mean_ms = sample.mean();
+  r.lat_p50_ms = sample.percentile(50.0);
+  r.lat_p95_ms = sample.percentile(95.0);
+  r.lat_p99_ms = sample.percentile(99.0);
+  r.lat_max_ms = sample.max();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto options = eval::ExperimentOptions::from_env();
+  std::cout << "== bench: serving study — concurrent session.run() over one "
+               "prepared graph ==\n"
+            << (options.quick ? "(quick mode)\n" : "") << "\n";
+
+  const auto& spec = eval::dataset_by_name("condmat-like");
+  const graph::Graph g =
+      spec.build(options.quick ? options.scale * 0.25 : options.scale,
+                 util::split_stream(options.base_seed, 0));
+  std::cout << "graph: condmat-like, " << g.num_nodes() << " nodes, "
+            << g.num_edges() << " edges\n\n";
+
+  // The correctness oracle every served query is checked against.
+  const std::vector<graph::NodeId> reference =
+      api::decompose(g, api::kProtocolBz).coreness;
+
+  const int per_client = options.quick ? 3 : 8;
+  const std::vector<std::string> protocols{
+      std::string(api::kProtocolBz),
+      std::string(api::kProtocolOneToManyPar),
+      std::string(api::kProtocolBspPar),
+      std::string(api::kProtocolBspAsync)};
+
+  std::vector<Record> records;
+  util::TableWriter table({"protocol", "clients", "queries", "qps",
+                           "p50 ms", "p95 ms", "p99 ms", "max ms"});
+  for (const auto& protocol : protocols) {
+    for (const unsigned clients : client_sweep(options.quick)) {
+      const Record r =
+          serve_cell(g, protocol, clients, per_client, reference,
+                     util::split_stream(options.base_seed, 1));
+      table.add_row({r.protocol, std::to_string(r.clients),
+                     std::to_string(r.queries),
+                     util::fmt_double(r.queries_per_sec, 1),
+                     util::fmt_double(r.lat_p50_ms, 2),
+                     util::fmt_double(r.lat_p95_ms, 2),
+                     util::fmt_double(r.lat_p99_ms, 2),
+                     util::fmt_double(r.lat_max_ms, 2)});
+      records.push_back(r);
+    }
+  }
+  table.print(std::cout);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "\nhardware threads available: " << hw
+            << (hw < 4 ? "  (qps scaling with clients needs real cores)" : "")
+            << "\n";
+
+  const std::string json_path =
+      util::env_string("KCORE_BENCH_JSON").value_or("BENCH_serving.json");
+  std::ofstream json_out(json_path);
+  if (json_out.good()) {
+    json_out << json_of(records);
+    std::cout << "wrote " << json_path << " (" << records.size()
+              << " records)\n";
+  } else {
+    std::cerr << "warning: cannot write " << json_path << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,9 @@
 #include "api/api.h"
 
+#include <memory>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "api/session.h"
 #include "core/one_to_many.h"
@@ -113,9 +116,57 @@ DecomposeReport report_of(par::AsyncResult result, core::SchedPolicy sched) {
 
 // --- prepared implementations ----------------------------------------------
 // One PreparedProtocol per built-in. The constructor is the amortizable
-// phase (what the one-shot runners used to re-derive per call); run()
-// replays from it, copying pristine state or resetting tables in place
-// so every run is bit-identical.
+// phase (what the one-shot runners used to re-derive per call); run() is
+// const and replays from immutable shared state, so any number of
+// threads can execute one prepared instance concurrently. Per-run
+// mutable state (estimate tables, worklists) comes from a ContextPool:
+// each run leases a private context (allocating only when every pooled
+// one is in use), so sequential warm runs stay allocation-free and
+// concurrent runs never share a table.
+
+/// A free-list of per-run contexts. acquire() hands out a pooled context
+/// or mints a new one via the factory; the lease returns it on
+/// destruction. The pool only grows to the peak concurrency ever seen.
+template <typename Context>
+class ContextPool {
+ public:
+  class Lease {
+   public:
+    Lease(ContextPool& pool, std::unique_ptr<Context> context)
+        : pool_(&pool), context_(std::move(context)) {}
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { pool_->release(std::move(context_)); }
+
+    Context& operator*() const { return *context_; }
+
+   private:
+    ContextPool* pool_;
+    std::unique_ptr<Context> context_;
+  };
+
+  template <typename Factory>
+  [[nodiscard]] Lease acquire(Factory&& make) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        auto context = std::move(free_.back());
+        free_.pop_back();
+        return Lease(*this, std::move(context));
+      }
+    }
+    return Lease(*this, make());
+  }
+
+ private:
+  void release(std::unique_ptr<Context> context) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(context));
+  }
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Context>> free_;
+};
 
 class PreparedSequential final : public PreparedProtocol {
  public:
@@ -123,7 +174,7 @@ class PreparedSequential final : public PreparedProtocol {
   explicit PreparedSequential(Fn fn) : fn_(fn) {}
 
   DecomposeReport run(const DecomposeRequest& request,
-                      const ProgressObserver& /*observer*/) override {
+                      const ProgressObserver& /*observer*/) const override {
     DecomposeReport report;
     report.coreness = fn_(*request.graph);
     report.traffic.converged = true;
@@ -141,35 +192,35 @@ class PreparedOneToOne final : public PreparedProtocol {
                                            request.options.targeted_send)) {}
 
   DecomposeReport run(const DecomposeRequest& request,
-                      const ProgressObserver& observer) override {
-    // Copy the pristine nodes; the engine consumes its vector.
+                      const ProgressObserver& observer) const override {
+    // Copy the pristine nodes; the engine consumes its (private) copy.
     return report_of(core::run_one_to_one_prepared(*request.graph, nodes_,
                                                    request.options, observer));
   }
 
  private:
-  std::vector<core::OneToOneNode> nodes_;
+  const std::vector<core::OneToOneNode> nodes_;
 };
 
 class PreparedOneToMany final : public PreparedProtocol {
  public:
-  explicit PreparedOneToMany(const DecomposeRequest& request) {
-    const auto& options = request.options;
-    const auto owner =
-        core::assign_nodes(request.graph->num_nodes(), options.num_hosts,
-                           options.assignment, options.seed);
-    hosts_ = core::make_one_to_many_hosts(*request.graph, owner,
-                                          options.num_hosts, options.comm);
-  }
+  explicit PreparedOneToMany(const DecomposeRequest& request)
+      : hosts_(core::make_one_to_many_hosts(
+            *request.graph,
+            core::assign_nodes(request.graph->num_nodes(),
+                               request.options.num_hosts,
+                               request.options.assignment,
+                               request.options.seed),
+            request.options.num_hosts, request.options.comm)) {}
 
   DecomposeReport run(const DecomposeRequest& request,
-                      const ProgressObserver& observer) override {
+                      const ProgressObserver& observer) const override {
     return report_of(core::run_one_to_many_prepared(*request.graph, hosts_,
                                                     request.options, observer));
   }
 
  private:
-  std::vector<core::OneToManyHost> hosts_;
+  const std::vector<core::OneToManyHost> hosts_;
 };
 
 class PreparedBsp final : public PreparedProtocol {
@@ -181,7 +232,7 @@ class PreparedBsp final : public PreparedProtocol {
                                   request.options.seed)) {}
 
   DecomposeReport run(const DecomposeRequest& request,
-                      const ProgressObserver& observer) override {
+                      const ProgressObserver& observer) const override {
     const RunOptions& options = request.options;
     return report_of(core::run_pregel_kcore_prepared(
         *request.graph, owner_, options.num_hosts, options.targeted_send,
@@ -189,7 +240,7 @@ class PreparedBsp final : public PreparedProtocol {
   }
 
  private:
-  std::vector<bsp::WorkerId> owner_;
+  const std::vector<bsp::WorkerId> owner_;
 };
 
 class PreparedOneToManyPar final : public PreparedProtocol {
@@ -199,7 +250,9 @@ class PreparedOneToManyPar final : public PreparedProtocol {
                                                request.options)) {}
 
   DecomposeReport run(const DecomposeRequest& request,
-                      const ProgressObserver& observer) override {
+                      const ProgressObserver& observer) const override {
+    // The runner copies the pristine hosts into a private engine; the
+    // prepared struct is only read.
     return report_of(
         par::run_one_to_many_par_prepared(*request.graph, prepared_,
                                           request.options, observer),
@@ -207,38 +260,52 @@ class PreparedOneToManyPar final : public PreparedProtocol {
   }
 
  private:
-  par::OneToManyParPrepared prepared_;
+  const par::OneToManyParPrepared prepared_;
 };
 
 class PreparedBspPar final : public PreparedProtocol {
  public:
   explicit PreparedBspPar(const DecomposeRequest& request)
-      : prepared_(par::prepare_bsp_par(*request.graph, request.options)) {}
+      : num_nodes_(request.graph->num_nodes()),
+        prepared_(par::prepare_bsp_par(*request.graph, request.options)) {}
 
   DecomposeReport run(const DecomposeRequest& request,
-                      const ProgressObserver& observer) override {
+                      const ProgressObserver& observer) const override {
+    const auto lease = contexts_.acquire([this] {
+      return std::make_unique<par::BspParRunContext>(num_nodes_);
+    });
     return report_of(par::run_bsp_par_prepared(*request.graph, prepared_,
-                                               request.options, observer));
+                                               *lease, request.options,
+                                               observer));
   }
 
  private:
-  par::BspParPrepared prepared_;
+  graph::NodeId num_nodes_;
+  const par::BspParPrepared prepared_;
+  mutable ContextPool<par::BspParRunContext> contexts_;
 };
 
 class PreparedBspAsync final : public PreparedProtocol {
  public:
   explicit PreparedBspAsync(const DecomposeRequest& request)
-      : prepared_(par::prepare_bsp_async(*request.graph, request.options)) {}
+      : num_nodes_(request.graph->num_nodes()),
+        prepared_(par::prepare_bsp_async(*request.graph, request.options)) {}
 
   DecomposeReport run(const DecomposeRequest& request,
-                      const ProgressObserver& observer) override {
+                      const ProgressObserver& observer) const override {
+    const auto lease = contexts_.acquire([this] {
+      return std::make_unique<par::AsyncRunContext>(prepared_, num_nodes_);
+    });
     return report_of(par::run_bsp_async_prepared(*request.graph, prepared_,
-                                                 request.options, observer),
+                                                 *lease, request.options,
+                                                 observer),
                      request.options.sched);
   }
 
  private:
-  par::AsyncPrepared prepared_;
+  graph::NodeId num_nodes_;
+  const par::AsyncPrepared prepared_;
+  mutable ContextPool<par::AsyncRunContext> contexts_;
 };
 
 template <typename Prepared>

@@ -269,20 +269,29 @@ struct Capabilities {
 
 // --- registry ---------------------------------------------------------------
 
-/// One run of a protocol, prepared: the amortizable derivation
-/// (assignment, host/shard construction, table allocation) happened at
-/// construction time; run() is repeatable and every run's report is
-/// bit-identical to a one-shot decompose() of the same request (timing
-/// fields and schedule-dependent extras excepted). Not thread-safe.
+/// One protocol, prepared: the amortizable derivation (assignment,
+/// host/shard construction, seed orders) happened at construction time;
+/// run() is repeatable and every run's report is bit-identical to a
+/// one-shot decompose() of the same request (timing fields and
+/// schedule-dependent extras excepted).
+///
+/// THREAD-SAFE BY CONTRACT: the prepared state is immutable after
+/// construction and run() is const — any number of threads may call
+/// run() on one shared PreparedProtocol concurrently, each call
+/// executing against a private per-run context (the built-ins keep a
+/// pool of contexts so sequential reuse stays allocation-free).
+/// Externally registered implementations must uphold the same contract —
+/// api::Session serves concurrent callers through this interface.
 class PreparedProtocol {
  public:
   virtual ~PreparedProtocol() = default;
 
   /// Execute one run. setup-phase timings in the report cover only this
-  /// run's residual setup; Session adds the prepare cost to the run that
-  /// triggered preparation.
+  /// run's residual setup (run-context acquisition and reset); Session
+  /// adds the prepare cost to the run that triggered preparation.
   [[nodiscard]] virtual DecomposeReport run(
-      const DecomposeRequest& request, const ProgressObserver& observer) = 0;
+      const DecomposeRequest& request,
+      const ProgressObserver& observer) const = 0;
 };
 
 /// String-keyed protocol registry. Keys are stable CLI-facing names;
@@ -302,7 +311,9 @@ class ProtocolRegistry {
     Capabilities capabilities;  // drives validate() and the tables
     /// One-shot runner. Optional when `prepare` is provided (the facade
     /// then routes every call through a Session); simple external
-    /// protocols can register just a Runner.
+    /// protocols can register just a Runner. Because Session serves
+    /// concurrent callers, a registered Runner must tolerate concurrent
+    /// invocations (pure functions of the request trivially do).
     Runner run;
     /// Prepared-execution factory backing api::Session. Optional: without
     /// it, Session::prepare() is a no-op and run() calls `run` each time

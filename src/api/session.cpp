@@ -1,6 +1,11 @@
 #include "api/session.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "util/check.h"
@@ -33,12 +38,12 @@ class RunnerPrepared final : public PreparedProtocol {
       : runner_(std::move(runner)) {}
 
   DecomposeReport run(const DecomposeRequest& request,
-                      const ProgressObserver& observer) override {
+                      const ProgressObserver& observer) const override {
     return runner_(request, observer);
   }
 
  private:
-  ProtocolRegistry::Runner runner_;
+  const ProtocolRegistry::Runner runner_;
 };
 
 /// One cell's RunOptions: the base with the swept axes applied, and the
@@ -63,14 +68,16 @@ RunOptions options_for_cell(const RunOptions& base, const PlanCell& cell) {
 }  // namespace
 
 Session::Session(const graph::Graph& g, std::string_view protocol,
-                 RunOptions options) {
+                 RunOptions options)
+    : state_(std::make_unique<State>()) {
   request_.graph = &g;
   request_.protocol = std::string(protocol);
   request_.options = std::move(options);
   throw_on_problems(validate(request_));
 }
 
-Session::Session(const DecomposeRequest& request) : request_(request) {
+Session::Session(const DecomposeRequest& request)
+    : request_(request), state_(std::make_unique<State>()) {
   throw_on_problems(validate(request_));
 }
 
@@ -78,28 +85,62 @@ const Capabilities& Session::capabilities() const noexcept {
   return ProtocolRegistry::instance().entry(request_.protocol).capabilities;
 }
 
-void Session::prepare() {
-  if (prepared_) return;
-  const auto& entry = ProtocolRegistry::instance().entry(request_.protocol);
-  const auto start = Clock::now();
-  if (entry.prepare) {
-    prepared_ = entry.prepare(request_);
-  } else {
-    prepared_ = std::make_unique<RunnerPrepared>(entry.run);
-  }
-  prepare_ms_ = ms_between(start, Clock::now());
+Session::State& Session::state() const {
+  KCORE_CHECK_MSG(state_ != nullptr,
+                  "Session used after being moved from; construct a new one");
+  return *state_;
 }
 
-DecomposeReport Session::run(const ProgressObserver& observer) {
+const PreparedProtocol& Session::ensure_prepared(double* prepared_cost) const {
+  State& state = this->state();
+  *prepared_cost = 0.0;
+  // Fast path: the release-store below pairs with this acquire, so a
+  // true `ready` publishes both the prepared pointer and prepare_ms.
+  if (state.ready.load(std::memory_order_acquire)) return *state.prepared;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.ready.load(std::memory_order_relaxed)) {
+    const auto& entry = ProtocolRegistry::instance().entry(request_.protocol);
+    const auto start = Clock::now();
+    if (entry.prepare) {
+      state.prepared = entry.prepare(request_);
+    } else {
+      state.prepared = std::make_unique<RunnerPrepared>(entry.run);
+    }
+    state.prepare_ms = ms_between(start, Clock::now());
+    state.ready.store(true, std::memory_order_release);
+    // Only the caller that performed the derivation absorbs its cost;
+    // racers that waited on the mutex start their clocks afterwards.
+    *prepared_cost = state.prepare_ms;
+  }
+  return *state.prepared;
+}
+
+void Session::prepare() {
+  double prepare_cost = 0.0;
+  (void)ensure_prepared(&prepare_cost);
+}
+
+bool Session::prepared() const noexcept {
+  return state_ != nullptr && state_->ready.load(std::memory_order_acquire);
+}
+
+double Session::prepare_ms() const noexcept {
+  return prepared() ? state_->prepare_ms : 0.0;
+}
+
+std::uint64_t Session::runs_completed() const noexcept {
+  return state_ != nullptr
+             ? state_->runs_completed.load(std::memory_order_relaxed)
+             : 0;
+}
+
+DecomposeReport Session::run(const ProgressObserver& observer) const {
   // A run that triggers preparation absorbs the prepare cost into its
   // setup accounting; warm runs report only their residual setup.
   double prepare_cost = 0.0;
-  if (!prepared_) {
-    prepare();
-    prepare_cost = prepare_ms_;
-  }
+  const PreparedProtocol& prepared = ensure_prepared(&prepare_cost);
   const auto start = Clock::now();
-  DecomposeReport report = prepared_->run(request_, observer);
+  DecomposeReport report = prepared.run(request_, observer);
   const double run_wall_ms = ms_between(start, Clock::now());
   report.protocol = request_.protocol;
   // The elapsed_ms invariant (api.h): where the extras carry phase
@@ -114,7 +155,7 @@ DecomposeReport Session::run(const ProgressObserver& observer) {
   } else {
     report.elapsed_ms = prepare_cost + run_wall_ms;
   }
-  ++runs_completed_;
+  state_->runs_completed.fetch_add(1, std::memory_order_relaxed);
   return report;
 }
 
@@ -126,6 +167,8 @@ Plan::Plan(const graph::Graph& g, PlanSpec spec)
                   "a Plan needs at least one protocol");
   KCORE_CHECK_MSG(spec_.repeats >= 1,
                   "repeats must be >= 1, got " << spec_.repeats);
+  KCORE_CHECK_MSG(spec_.concurrency >= 1,
+                  "concurrency must be >= 1, got " << spec_.concurrency);
   if (spec_.threads.empty()) spec_.threads = {spec_.base.threads};
   if (spec_.scheds.empty()) spec_.scheds = {spec_.base.sched};
   if (spec_.seeds.empty()) spec_.seeds = {spec_.base.seed};
@@ -177,8 +220,18 @@ std::vector<std::string> Plan::validate() const {
 std::vector<PlanCellResult> Plan::run(
     const PlanReportHook& on_report,
     const PlanObserverFactory& observer_factory) {
-  std::vector<PlanCellResult> results;
-  for (const auto& cell : cells()) {
+  const std::vector<PlanCell> all = cells();
+  std::vector<PlanCellResult> results(all.size());
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min<std::size_t>(spec_.concurrency, all.size()));
+  // With more than one worker the user's hooks run under one mutex —
+  // cells are independent Sessions, but the hooks see a single
+  // interleaved stream, same as in the serial case.
+  const bool serialize_hooks = workers > 1;
+  std::mutex hook_mutex;
+
+  auto run_cell = [&](std::size_t index) {
+    const PlanCell& cell = all[index];
     Session session(*graph_, cell.protocol,
                     options_for_cell(spec_.base, cell));
 
@@ -188,11 +241,24 @@ std::vector<PlanCellResult> Plan::run(
     std::vector<double> wall, warm, run_phase;
     wall.reserve(static_cast<std::size_t>(spec_.repeats));
     for (int repeat = 0; repeat < spec_.repeats; ++repeat) {
-      const ProgressObserver observer =
-          observer_factory ? observer_factory(cell, repeat)
-                           : ProgressObserver{};
+      ProgressObserver observer;
+      if (observer_factory) {
+        if (serialize_hooks) {
+          std::lock_guard<std::mutex> lock(hook_mutex);
+          observer = observer_factory(cell, repeat);
+        } else {
+          observer = observer_factory(cell, repeat);
+        }
+      }
       DecomposeReport report = session.run(observer);
-      if (on_report) on_report(cell, repeat, report);
+      if (on_report) {
+        if (serialize_hooks) {
+          std::lock_guard<std::mutex> lock(hook_mutex);
+          on_report(cell, repeat, report);
+        } else {
+          on_report(cell, repeat, report);
+        }
+      }
       wall.push_back(report.elapsed_ms);
       if (repeat == 0) {
         result.first_wall_ms = report.elapsed_ms;
@@ -213,8 +279,42 @@ std::vector<PlanCellResult> Plan::run(
     result.wall_ms = util::SampleSummary::of(wall);
     result.warm_wall_ms = util::SampleSummary::of(warm);
     result.run_ms = util::SampleSummary::of(run_phase);
-    results.push_back(std::move(result));
+    results[index] = std::move(result);
+  };
+
+  if (workers == 1) {
+    for (std::size_t index = 0; index < all.size(); ++index) run_cell(index);
+    return results;
   }
+
+  // Work-stealing by atomic index: each thread claims the next
+  // unclaimed cell. Results land at their cell's slot, so the returned
+  // order matches cells() regardless of completion order. The first
+  // exception wins; it parks the claim index past the end so the other
+  // workers drain, then rethrows on the caller's thread.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= all.size()) return;
+        try {
+          run_cell(index);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          next.store(all.size(), std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

@@ -19,16 +19,31 @@
 // excepted per Capabilities::deterministic_extras — is pinned for every
 // registered protocol by tests/test_session.cpp.
 //
+// SERVING: a prepared Session is safe to share across threads. The
+// prepared state is immutable (see PreparedProtocol's thread-safety
+// contract in api/api.h); every run() leases a private per-run context,
+// so N threads calling session.run() concurrently each get a report
+// bit-identical to a one-shot decompose() (pinned, under TSan, by
+// tests/test_serving.cpp). Lazy preparation is race-safe: runs that
+// arrive while another thread prepares wait for it, and only the run
+// that actually performed the preparation absorbs its cost into the
+// setup accounting. bench/serving_study.cpp measures this path
+// (queries/sec, tail latency) on one shared prepared graph.
+//
 // Plan turns repeated Sessions into declarative sweeps: the cross
 // product of protocols × threads × seeds, each cell prepared once and
-// run `repeats` times, with min/median/max aggregation per cell. The
-// CLI's `sweep` subcommand, bench/scaling_study and the eval drivers
-// all ride it instead of hand-rolled loops.
+// run `repeats` times, with min/median/max aggregation per cell —
+// independent cells optionally executed concurrently
+// (PlanSpec::concurrency) over the shared graph. The CLI's `sweep`
+// subcommand, bench/scaling_study and the eval drivers all ride it
+// instead of hand-rolled loops.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,8 +55,9 @@ namespace kcore::api {
 
 /// A prepared, repeatable decomposition: binds (graph, protocol,
 /// options) once, derives the amortizable state in prepare(), and serves
-/// any number of run() calls from it. The graph must outlive the
-/// Session. Not thread-safe — one Session per thread.
+/// any number of run() calls from it — including CONCURRENT run() calls
+/// from many threads over the one shared prepared state. The graph must
+/// outlive the Session.
 class Session {
  public:
   /// Validates eagerly: throws util::CheckError listing every problem
@@ -50,6 +66,15 @@ class Session {
           RunOptions options = {});
   explicit Session(const DecomposeRequest& request);
 
+  /// Movable: the shared state lives behind a stable heap allocation
+  /// that never points back into the Session object, so moving a
+  /// prepared Session transfers it wholesale — runs on the destination
+  /// stay bit-identical, nothing dangles. The moved-from Session is
+  /// empty: prepare()/run() on it throw util::CheckError (pinned by
+  /// tests/test_session.cpp's use-after-move regression), the observers
+  /// below report unprepared/zero. Not movable mid-run: moving while
+  /// another thread executes prepare()/run() on the same object is a
+  /// data race, like any std:: container.
   Session(Session&&) noexcept = default;
   Session& operator=(Session&&) noexcept = default;
 
@@ -65,29 +90,48 @@ class Session {
   [[nodiscard]] const Capabilities& capabilities() const noexcept;
 
   /// Build the amortizable state (assignment, host/shard construction,
-  /// table allocation — the one-shot runner's setup phase). Idempotent;
-  /// run() calls it on demand.
+  /// seed orders — the one-shot runner's setup phase). Idempotent and
+  /// race-safe: concurrent callers (including runs preparing on demand)
+  /// serialize, one performs the derivation, the rest observe it.
   void prepare();
-  [[nodiscard]] bool prepared() const noexcept { return prepared_ != nullptr; }
+  [[nodiscard]] bool prepared() const noexcept;
   /// Wall-clock cost of the prepare() that built the current state
   /// (0 until prepared).
-  [[nodiscard]] double prepare_ms() const noexcept { return prepare_ms_; }
+  [[nodiscard]] double prepare_ms() const noexcept;
 
   /// Execute one run. Warm runs (state already prepared) report only
   /// their residual setup in the phase timings; the run that triggers
   /// preparation absorbs the prepare cost, so a one-shot
-  /// Session(...).run() equals decompose() in accounting too.
-  [[nodiscard]] DecomposeReport run(const ProgressObserver& observer = {});
+  /// Session(...).run() equals decompose() in accounting too. Safe to
+  /// call from any number of threads concurrently; each call executes
+  /// against a private per-run context.
+  [[nodiscard]] DecomposeReport run(const ProgressObserver& observer = {}) const;
 
-  [[nodiscard]] std::uint64_t runs_completed() const noexcept {
-    return runs_completed_;
-  }
+  [[nodiscard]] std::uint64_t runs_completed() const noexcept;
 
  private:
+  /// Everything mutable-under-concurrency, heap-pinned so Session moves
+  /// cannot invalidate references held by in-flight state: the prepared
+  /// pointer + its build cost (guarded by `mutex`, with `ready` as the
+  /// lock-free fast-path flag) and the run counter.
+  struct State {
+    std::mutex mutex;
+    std::atomic<bool> ready{false};
+    std::unique_ptr<const PreparedProtocol> prepared;
+    double prepare_ms = 0.0;
+    std::atomic<std::uint64_t> runs_completed{0};
+  };
+
+  /// Throws util::CheckError when this Session was moved from.
+  [[nodiscard]] State& state() const;
+  /// Returns the prepared state, building it on first need; *prepared_cost
+  /// is the prepare time to bill to this caller (0 when it was already
+  /// built or another thread built it).
+  [[nodiscard]] const PreparedProtocol& ensure_prepared(
+      double* prepared_cost) const;
+
   DecomposeRequest request_;
-  std::unique_ptr<PreparedProtocol> prepared_;
-  double prepare_ms_ = 0.0;
-  std::uint64_t runs_completed_ = 0;
+  std::unique_ptr<State> state_;
 };
 
 // --- declarative sweeps -----------------------------------------------------
@@ -111,6 +155,13 @@ struct PlanSpec {
   /// run() calls per cell (>= 1). The first pays prepare; the rest are
   /// warm.
   int repeats = 1;
+  /// Cells executed concurrently (>= 1; 1 = the serial loop). Cells are
+  /// independent Sessions over the one shared graph, so any value is
+  /// result-equivalent to 1 — but per-cell wall times then include
+  /// cross-cell interference, so keep 1 when the cells themselves are
+  /// the timing experiment. Hooks and observer factories are serialized
+  /// under a mutex, and results always come back in cells() order.
+  unsigned concurrency = 1;
   /// Every other knob, shared by all cells. base.obs (telemetry) is
   /// clamped off per cell for protocols without Capabilities::
   /// consumes_obs, so a sweep mixing sequential baselines with the par

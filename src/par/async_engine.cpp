@@ -84,14 +84,6 @@ AsyncPrepared prepare_bsp_async(const graph::Graph& g,
   for (graph::NodeId u = 0; u < n; ++u) {
     prepared.seeds[owner[u]].push_back(u);
   }
-  // The one shared estimate table. All traffic goes through it — no
-  // epochs; run_bsp_async_prepared re-initializes it per run.
-  prepared.est = std::vector<std::atomic<graph::NodeId>>(n);
-  if (prepared.sched == SchedPolicy::kDelta) {
-    prepared.delta = std::vector<std::atomic<std::uint32_t>>(n);
-  }
-  prepared.worklist =
-      std::make_unique<AsyncWorklist>(n, prepared.workers, prepared.sched);
   return prepared;
 }
 
@@ -105,22 +97,25 @@ AsyncResult run_bsp_async(const graph::Graph& g,
     return result;
   }
   const auto setup_start = Clock::now();
-  auto prepared = prepare_bsp_async(g, options);
+  const auto prepared = prepare_bsp_async(g, options);
+  AsyncRunContext context(prepared, n);
   const auto setup_stop = Clock::now();
-  auto result = run_bsp_async_prepared(g, prepared, options, observer);
+  auto result =
+      run_bsp_async_prepared(g, prepared, context, options, observer);
   result.setup_ms +=
       util::ms_between(setup_start, setup_stop);
   return result;
 }
 
 AsyncResult run_bsp_async_prepared(const graph::Graph& g,
-                                   AsyncPrepared& prepared,
+                                   const AsyncPrepared& prepared,
+                                   AsyncRunContext& context,
                                    const core::RunOptions& options,
                                    const core::ProgressObserver& /*observer*/) {
   AsyncResult result;
   const graph::NodeId n = g.num_nodes();
-  KCORE_CHECK_MSG(prepared.est.size() == n,
-                  "prepared state does not match this graph");
+  KCORE_CHECK_MSG(context.est.size() == n,
+                  "run context does not match this graph");
   KCORE_CHECK_MSG(prepared.sched == options.sched,
                   "prepared state was built for --sched "
                       << core::to_string(prepared.sched)
@@ -137,22 +132,23 @@ AsyncResult run_bsp_async_prepared(const graph::Graph& g,
   result.threads_used = workers;
   const auto setup_start = Clock::now();
 
-  // Reset the shared estimate table to the degrees (Algorithm 1's
+  // Reset the context's estimate table to the degrees (Algorithm 1's
   // starting estimate) and the pending-change accumulators to zero.
-  std::vector<std::atomic<graph::NodeId>>& est = prepared.est;
+  std::vector<std::atomic<graph::NodeId>>& est = context.est;
   for (graph::NodeId u = 0; u < n; ++u) {
     est[u].store(g.degree(u), std::memory_order_relaxed);
   }
-  std::vector<std::atomic<std::uint32_t>>& delta = prepared.delta;
+  std::vector<std::atomic<std::uint32_t>>& delta = context.delta;
   if (sched == SchedPolicy::kDelta) {
     for (graph::NodeId u = 0; u < n; ++u) {
       delta[u].store(0, std::memory_order_relaxed);
     }
   }
 
-  // Reset-in-place, then replay the cached per-worker seed order: warm
-  // runs allocate nothing here (the pool keeps its grown rings).
-  AsyncWorklist& worklist = *prepared.worklist;
+  // Reset-in-place, then replay the cached per-worker seed order: a
+  // reused context allocates nothing here (the pool keeps its grown
+  // rings).
+  AsyncWorklist& worklist = *context.worklist;
   worklist.reset();
   for (unsigned w = 0; w < workers; ++w) {
     for (const std::uint32_t u : prepared.seeds[w]) {

@@ -113,20 +113,37 @@ struct AsyncResult {
     const graph::Graph& g, const core::RunOptions& options,
     const core::ProgressObserver& observer = {});
 
-/// Amortizable state of an async run, for api::Session's prepare-once /
-/// run-many contract — everything that is a pure function of
-/// (graph, options):
+/// Amortizable, SHAREABLE state of an async run, for api::Session's
+/// prepare-once / run-many (and serve-many-concurrently) contract —
+/// everything that is a pure function of (graph, options) and is
+/// immutable after prepare:
 ///  * the per-worker SEED ORDER (the §3.2.2 assignment materialized as
 ///    one vertex list per lane, so warm runs never re-walk the owner
 ///    array),
-///  * the shared atomic estimate table (reset to the degrees per run),
-///  * the per-vertex pending-change accumulators (sched=delta only),
-///  * the worklist itself (flags + pool + detector), reset in place per
-///    run so warm runs re-allocate nothing.
+///  * the resolved worker count and scheduling policy.
+/// Any number of concurrent runs may read one AsyncPrepared; each run
+/// brings its own AsyncRunContext for the mutable tables.
 struct AsyncPrepared {
   unsigned workers = 0;
   core::SchedPolicy sched = core::SchedPolicy::kLifo;
   std::vector<std::vector<std::uint32_t>> seeds;
+};
+
+/// Per-run mutable state, owned privately by one run at a time:
+///  * the shared atomic estimate table (reset to the degrees per run),
+///  * the per-vertex pending-change accumulators (sched=delta only),
+///  * the worklist (flags + pool + detector), reset in place per run so
+///    sequential reuse re-allocates nothing.
+struct AsyncRunContext {
+  AsyncRunContext(const AsyncPrepared& prepared, graph::NodeId n)
+      : est(n),
+        worklist(std::make_unique<AsyncWorklist>(n, prepared.workers,
+                                                 prepared.sched)) {
+    if (prepared.sched == core::SchedPolicy::kDelta) {
+      delta = std::vector<std::atomic<std::uint32_t>>(n);
+    }
+  }
+
   std::vector<std::atomic<graph::NodeId>> est;
   std::vector<std::atomic<std::uint32_t>> delta;
   std::unique_ptr<AsyncWorklist> worklist;
@@ -135,14 +152,15 @@ struct AsyncPrepared {
 [[nodiscard]] AsyncPrepared prepare_bsp_async(const graph::Graph& g,
                                               const core::RunOptions& options);
 
-/// Execute one run from prepared state. Coreness is bit-identical to the
-/// one-shot runner (and to the sequential baseline); the schedule profile
-/// in stats is interleaving-dependent as always. result.setup_ms covers
-/// only this run's residual setup (table + worklist reset + seeding).
+/// Execute one run from shared prepared state and a private context.
+/// Coreness is bit-identical to the one-shot runner (and to the
+/// sequential baseline); the schedule profile in stats is
+/// interleaving-dependent as always. result.setup_ms covers only this
+/// run's residual setup (table + worklist reset + seeding).
 /// `options.sched` and `options.threads` must match the prepared state.
 [[nodiscard]] AsyncResult run_bsp_async_prepared(
-    const graph::Graph& g, AsyncPrepared& prepared,
-    const core::RunOptions& options,
+    const graph::Graph& g, const AsyncPrepared& prepared,
+    AsyncRunContext& context, const core::RunOptions& options,
     const core::ProgressObserver& observer = {});
 
 }  // namespace kcore::par

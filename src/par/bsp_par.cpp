@@ -59,13 +59,6 @@ BspParPrepared prepare_bsp_par(const graph::Graph& g,
   for (graph::NodeId u = 0; u < n; ++u) {
     prepared.owned[prepared.owner[u]].push_back(u);
   }
-
-  // The shared tables are allocated once here and reset per run: the
-  // estimate table double-buffered by epoch, the dirty flags likewise.
-  prepared.est_a = std::vector<std::atomic<graph::NodeId>>(n);
-  prepared.est_b = std::vector<std::atomic<graph::NodeId>>(n);
-  prepared.act_a = std::vector<std::atomic<std::uint8_t>>(n);
-  prepared.act_b = std::vector<std::atomic<std::uint8_t>>(n);
   return prepared;
 }
 
@@ -80,21 +73,25 @@ BspParResult run_bsp_par(const graph::Graph& g,
     return result;
   }
   const auto setup_start = util::SteadyClock::now();
-  auto prepared = prepare_bsp_par(g, options);
+  const auto prepared = prepare_bsp_par(g, options);
+  BspParRunContext context(n);
   const auto setup_stop = util::SteadyClock::now();
-  auto result = run_bsp_par_prepared(g, prepared, options, observer);
+  auto result = run_bsp_par_prepared(g, prepared, context, options, observer);
   result.setup_ms += util::ms_between(setup_start, setup_stop);
   return result;
 }
 
 BspParResult run_bsp_par_prepared(const graph::Graph& g,
-                                  BspParPrepared& prepared,
+                                  const BspParPrepared& prepared,
+                                  BspParRunContext& context,
                                   const core::RunOptions& options,
                                   const core::ProgressObserver& observer) {
   BspParResult result;
   const graph::NodeId n = g.num_nodes();
   KCORE_CHECK_MSG(prepared.owner.size() == n,
                   "prepared state does not match this graph");
+  KCORE_CHECK_MSG(context.est_a.size() == n,
+                  "run context does not match this graph");
   const unsigned workers = prepared.workers;
   result.threads_used = workers;
   const auto setup_start = util::SteadyClock::now();
@@ -102,10 +99,10 @@ BspParResult run_bsp_par_prepared(const graph::Graph& g,
   const auto& owner = prepared.owner;
   const auto& owned = prepared.owned;
 
-  // Reset the prepared tables to the run's initial state: estimates at
+  // Reset the context tables to the run's initial state: estimates at
   // the degrees (Algorithm 1's starting estimate), every vertex dirty.
-  std::vector<std::atomic<graph::NodeId>>& est_a = prepared.est_a;
-  std::vector<std::atomic<graph::NodeId>>& est_b = prepared.est_b;
+  std::vector<std::atomic<graph::NodeId>>& est_a = context.est_a;
+  std::vector<std::atomic<graph::NodeId>>& est_b = context.est_b;
   for (graph::NodeId u = 0; u < n; ++u) {
     est_a[u].store(g.degree(u), std::memory_order_relaxed);
   }
@@ -114,8 +111,8 @@ BspParResult run_bsp_par_prepared(const graph::Graph& g,
 
   // Dirty flags: cur is consumed by owners this superstep, next
   // accumulates activations for the following one.
-  std::vector<std::atomic<std::uint8_t>>& act_a = prepared.act_a;
-  std::vector<std::atomic<std::uint8_t>>& act_b = prepared.act_b;
+  std::vector<std::atomic<std::uint8_t>>& act_a = context.act_a;
+  std::vector<std::atomic<std::uint8_t>>& act_b = context.act_b;
   for (graph::NodeId u = 0; u < n; ++u) {
     act_a[u].store(1, std::memory_order_relaxed);
     act_b[u].store(0, std::memory_order_relaxed);

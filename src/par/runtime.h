@@ -90,17 +90,23 @@ struct BspParResult {
 
 // --- prepared (amortized) execution ----------------------------------------
 // The one-shot runners above re-derive everything per call. The prepared
-// split serves api::Session's prepare-once / run-many contract: prepare_*
+// split serves api::Session's prepare-once / run-many contract, and —
+// since the serving redesign — its CONCURRENT serving contract: prepare_*
 // performs the graph-dependent derivation (assignment, host construction,
-// table allocation) once, and run_*_prepared executes repeatably from that
-// state — every run bit-identical to the one-shot runner under the same
-// options. The prepared structs are immutable across runs where possible
-// (one-to-many-par copies the pristine hosts per run); the table-based
-// runtimes reset their tables in place (O(N) stores, zero reallocation).
+// seed orders) once into a struct that is IMMUTABLE after prepare, and
+// run_*_prepared executes repeatably from it — every run bit-identical to
+// the one-shot runner under the same options. All per-run mutable state
+// (estimate tables, activation flags, worklists) lives in a separate
+// *RunContext that each run owns privately, so N threads may execute
+// run_*_prepared over ONE shared prepared struct concurrently, each with
+// its own context. A context is reset in place at the start of every run
+// (O(N) stores, zero reallocation), so reusing one across sequential runs
+// is both safe and allocation-free.
 
 /// one-to-many-par: the §3.2.2 assignment plus pristine host state
-/// machines. Each run copies the hosts into a fresh engine — copying CSR
-/// state is much cheaper than re-deriving it from the graph.
+/// machines. Immutable after prepare; each run copies the hosts into a
+/// fresh engine — copying CSR state is much cheaper than re-deriving it
+/// from the graph — so this runtime needs no separate run context.
 struct OneToManyParPrepared {
   std::vector<sim::HostId> owner;
   std::vector<core::OneToManyHost> hosts;
@@ -117,13 +123,22 @@ struct OneToManyParPrepared {
     const core::RunOptions& options,
     const core::ProgressObserver& observer = {});
 
-/// bsp-par: the vertex→worker shards plus the two shared atomic tables
-/// (estimate epochs, activation flags). run_bsp_par_prepared resets the
-/// tables in place, so repeated runs never reallocate.
+/// bsp-par, shareable half: the vertex→worker shards. Immutable after
+/// prepare — safe to read from any number of concurrent runs.
 struct BspParPrepared {
   unsigned workers = 0;
   std::vector<sim::HostId> owner;
   std::vector<std::vector<graph::NodeId>> owned;
+};
+
+/// bsp-par, per-run half: the two shared atomic tables (estimate epochs,
+/// activation flags). Each concurrent run needs its own context; a
+/// context is reset in place per run, so sequential reuse never
+/// reallocates.
+struct BspParRunContext {
+  explicit BspParRunContext(graph::NodeId n)
+      : est_a(n), est_b(n), act_a(n), act_b(n) {}
+
   std::vector<std::atomic<graph::NodeId>> est_a, est_b;
   std::vector<std::atomic<std::uint8_t>> act_a, act_b;
 };
@@ -132,8 +147,8 @@ struct BspParPrepared {
                                              const core::RunOptions& options);
 
 [[nodiscard]] BspParResult run_bsp_par_prepared(
-    const graph::Graph& g, BspParPrepared& prepared,
-    const core::RunOptions& options,
+    const graph::Graph& g, const BspParPrepared& prepared,
+    BspParRunContext& context, const core::RunOptions& options,
     const core::ProgressObserver& observer = {});
 
 }  // namespace kcore::par

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 #include <variant>
+#include <vector>
 
 #include "api/api.h"
 #include "api/cli_options.h"
@@ -358,6 +360,40 @@ TEST(ApiReport, ElapsedEqualsSetupPlusRunWherePhaseTimingsExist) {
       EXPECT_EQ(report.elapsed_ms, async.setup_ms + async.run_ms)
           << protocol;
       EXPECT_GT(async.setup_ms, 0.0) << protocol;
+    }
+  }
+}
+
+TEST(ApiReport, ElapsedInvariantHoldsUnderConcurrentOneShots) {
+  // The phase-timing partition must survive concurrency: one-shot
+  // decompose() calls racing on separate threads still each report
+  // elapsed_ms == setup_ms + run_ms (each call derives and times its
+  // own state; nothing timing-related is shared).
+  const Graph g = gen::barabasi_albert(250, 3, 15);
+  api::RunOptions options;
+  options.threads = 2;
+  options.num_hosts = 4;
+  for (const auto protocol :
+       {api::kProtocolOneToManyPar, api::kProtocolBspPar,
+        api::kProtocolBspAsync}) {
+    constexpr unsigned kCallers = 3;
+    std::vector<api::DecomposeReport> reports(kCallers);
+    std::vector<std::thread> pool;
+    pool.reserve(kCallers);
+    for (unsigned c = 0; c < kCallers; ++c) {
+      pool.emplace_back([&, c] {
+        reports[c] = api::decompose(g, protocol, options);
+      });
+    }
+    for (auto& t : pool) t.join();
+    for (const auto& report : reports) {
+      if (const auto* par = std::get_if<api::ParExtras>(&report.extras)) {
+        EXPECT_EQ(report.elapsed_ms, par->setup_ms + par->run_ms) << protocol;
+      } else {
+        const auto& async = std::get<api::AsyncExtras>(report.extras);
+        EXPECT_EQ(report.elapsed_ms, async.setup_ms + async.run_ms)
+            << protocol;
+      }
     }
   }
 }

@@ -469,6 +469,42 @@ TEST(ObsEndToEnd, AsyncMetricsMatchStatsView) {
   EXPECT_EQ(report.coreness, seq::coreness_bz(g));
 }
 
+TEST(ObsEndToEnd, WarmRunTelemetryNeverAccumulatesAcrossRuns) {
+  // Regression pin for the serving path: the obs Recorder (and the
+  // worklist tallies feeding it) is created/reset per run, so the THIRD
+  // warm run over one prepared Session must still satisfy the exact
+  // metrics == extras parity a one-shot does — any cross-run leak of
+  // counters, tallies or detector state shows up here as a doubled or
+  // drifting value.
+  const graph::Graph g = graph::gen::barabasi_albert(4000, 3, 7);
+  api::RunOptions options;
+  options.threads = 4;
+  options.obs.metrics = true;
+  api::Session session(g, "bsp-async", options);
+  api::DecomposeReport report;
+  for (int run = 0; run < 3; ++run) report = session.run();
+  ASSERT_NE(report.telemetry, nullptr);
+  ASSERT_TRUE(report.telemetry->has_metrics);
+  const auto& metrics = report.telemetry->metrics;
+  const auto& extras = std::get<api::AsyncExtras>(report.extras);
+  EXPECT_EQ(extras.relaxations, metrics.value("async.relaxations"));
+  EXPECT_EQ(extras.steals, metrics.value("async.steals"));
+  EXPECT_EQ(extras.pop_scans, metrics.value("async.pop_scans"));
+  EXPECT_EQ(extras.skipped_recomputes,
+            metrics.value("async.skipped_recomputes"));
+  EXPECT_EQ(extras.detector_passes, metrics.value("async.detector_passes"));
+  // Every node still relaxes at least once per run — a registry that
+  // leaked from the previous runs would report ~3x this floor against
+  // an extras view of ~1x and fail the equalities above.
+  EXPECT_EQ(extras.re_enqueues,
+            metrics.value("async.relaxations") - g.num_nodes());
+  EXPECT_GE(extras.relaxations, g.num_nodes());
+  const auto* relax_ns = metrics.histogram("async.relax_ns");
+  ASSERT_NE(relax_ns, nullptr);
+  EXPECT_EQ(relax_ns->count, extras.relaxations);
+  EXPECT_EQ(report.coreness, seq::coreness_bz(g));
+}
+
 TEST(ObsEndToEnd, AsyncTraceIsStructurallySound) {
   const graph::Graph g = graph::gen::barabasi_albert(2000, 3, 3);
   api::RunOptions options;

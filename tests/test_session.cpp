@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -193,6 +194,47 @@ TEST(SessionMechanics, StreamsProgressPerRun) {
     });
     EXPECT_GT(last_round, 0U) << "run " << run;
   }
+}
+
+TEST(SessionMechanics, MoveTransfersPreparedStateWholesale) {
+  const Graph g = gen::barabasi_albert(250, 3, 19);
+  const auto truth = seq::coreness_bz(g);
+  api::Session original(g, api::kProtocolBspAsync);
+  original.prepare();
+  const double prepare_ms = original.prepare_ms();
+  (void)original.run();
+
+  // Move construction: the destination owns the prepared state and the
+  // run counter; reports from it stay correct.
+  api::Session moved(std::move(original));
+  EXPECT_TRUE(moved.prepared());
+  EXPECT_EQ(moved.prepare_ms(), prepare_ms);
+  EXPECT_EQ(moved.runs_completed(), 1U);
+  EXPECT_EQ(moved.run().coreness, truth);
+
+  // Move assignment, same contract.
+  api::Session assigned(g, api::kProtocolBz);
+  assigned = std::move(moved);
+  EXPECT_TRUE(assigned.prepared());
+  EXPECT_EQ(assigned.protocol(), api::kProtocolBspAsync);
+  EXPECT_EQ(assigned.runs_completed(), 2U);
+  EXPECT_EQ(assigned.run().coreness, truth);
+}
+
+TEST(SessionMechanics, UseAfterMoveThrowsInsteadOfCrashing) {
+  const Graph g = gen::barabasi_albert(150, 3, 23);
+  api::Session original(g, api::kProtocolOneToMany);
+  (void)original.run();
+  api::Session moved(std::move(original));
+
+  // The husk reports unprepared/zero through the noexcept observers and
+  // throws (never UB) from the entry points that would need state.
+  EXPECT_FALSE(original.prepared());     // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(original.prepare_ms(), 0.0);
+  EXPECT_EQ(original.runs_completed(), 0U);
+  EXPECT_THROW((void)original.run(), util::CheckError);
+  EXPECT_THROW(original.prepare(), util::CheckError);
+  EXPECT_EQ(moved.run().coreness, seq::coreness_bz(g));
 }
 
 TEST(SessionMechanics, RunnerOnlyProtocolsFallBackToReexecution) {
