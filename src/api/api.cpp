@@ -9,10 +9,12 @@
 #include "core/one_to_many.h"
 #include "core/one_to_one.h"
 #include "core/pregel_kcore.h"
+#include "live/service.h"
 #include "par/async_engine.h"
 #include "par/runtime.h"
 #include "seq/kcore_seq.h"
 #include "util/check.h"
+#include "util/clock.h"
 
 namespace kcore::api {
 
@@ -454,6 +456,14 @@ ProtocolRegistry::ProtocolRegistry() {
   bsp_async.observer = ObserverGranularity::kNone;
   bsp_async.deterministic_extras = false;
 
+  Capabilities live;
+  live.execution = ExecutionKind::kAsync;
+  live.consumes_threads = true;
+  live.consumes_sched = true;
+  live.consumes_targeted_send = true;
+  live.observer = ObserverGranularity::kNone;
+  live.deterministic_extras = false;
+
   add({std::string(kProtocolBz), "[3]",
        "sequential Batagelj–Zaveršnik bucket baseline", sequential, nullptr,
        [](const DecomposeRequest&) {
@@ -486,6 +496,42 @@ ProtocolRegistry::ProtocolRegistry() {
        "chaotic relaxation: work-stealing threads, no barriers, concurrent "
        "quiescence detector",
        bsp_async, nullptr, make_request_preparer<PreparedBspAsync>()});
+  add({std::string(kProtocolLive), "§4 (streaming)",
+       "live streaming service: incremental async repair behind epoch "
+       "snapshots (one-shot run = the initial convergence)",
+       live,
+       [](const DecomposeRequest& request, const ProgressObserver&) {
+         const auto start = util::SteadyClock::now();
+         live::ServiceOptions options;
+         options.threads = request.options.threads;
+         options.sched = request.options.sched;
+         options.targeted_send = request.options.targeted_send;
+         const live::Service service(*request.graph, options);
+         const double total_ms =
+             util::ms_between(start, util::SteadyClock::now());
+         const live::RepairStats& stats = service.initial_stats();
+         DecomposeReport report;
+         report.coreness = service.query()->coreness;
+         const graph::NodeId n = request.graph->num_nodes();
+         AsyncExtras extras;
+         extras.threads_used = service.workers();
+         extras.sched = request.options.sched;
+         extras.relaxations = stats.relaxations;
+         extras.steals = stats.steals;
+         extras.re_enqueues =
+             stats.relaxations >= n ? stats.relaxations - n : 0;
+         extras.detector_passes = stats.detector_passes;
+         extras.skipped_recomputes = stats.skipped_recomputes;
+         extras.pop_scans = stats.pop_scans;
+         extras.run_ms = stats.repair_ms;
+         extras.setup_ms =
+             total_ms > stats.repair_ms ? total_ms - stats.repair_ms : 0.0;
+         report.traffic.total_messages = extras.re_enqueues;
+         report.traffic.converged = true;
+         report.extras = extras;
+         return report;
+       },
+       nullptr});
 }
 
 ProtocolRegistry& ProtocolRegistry::instance() {

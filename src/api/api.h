@@ -81,6 +81,12 @@ inline constexpr std::string_view kProtocolBspPar = "bsp-par";  // §6, threaded
 // §3.3 centralized termination detector ported to shared memory. The
 // paper's convergence-under-asynchrony claim, executed literally.
 inline constexpr std::string_view kProtocolBspAsync = "bsp-async";  // §4/§3.3
+// The live streaming service (src/live): a one-shot decompose through
+// this key runs the service's initial convergence (the same chaotic
+// relaxation as bsp-async, driven by the incremental repair engine);
+// streaming updates flow through live::Service / `kcore stream` rather
+// than the batch facade.
+inline constexpr std::string_view kProtocolLive = "live";  // §4 (streaming)
 
 /// A decomposition request: which graph, which protocol, which knobs.
 /// `graph` must outlive the call.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -163,6 +164,80 @@ MaintenanceStats DynamicKCore::remove_edge(NodeId u, NodeId v) {
   // learn of the drop with one message each.
   auto stats = reconverge({u, v});
   stats.messages += 2;
+  lifetime_.rounds += stats.rounds;
+  lifetime_.messages += stats.messages;
+  lifetime_.nodes_activated += stats.nodes_activated;
+  return stats;
+}
+
+MaintenanceStats DynamicKCore::apply_batch(
+    std::span<const graph::EdgeUpdate> updates) {
+  // Net topology effect: the LAST op per edge decides its final presence;
+  // edges whose final presence matches the current topology are dropped
+  // (a transient insert+remove inside the batch cannot change the final
+  // coreness). Self-loops are ignored, matching add_edge/GraphBuilder.
+  std::map<std::pair<NodeId, NodeId>, bool> final_present;
+  for (const graph::EdgeUpdate& update : updates) {
+    NodeId u = update.u;
+    NodeId v = update.v;
+    KCORE_CHECK_MSG(u < num_nodes() && v < num_nodes(), "node out of range");
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    final_present[{u, v}] = update.op == graph::EdgeOp::kInsert;
+  }
+  std::vector<std::pair<NodeId, NodeId>> inserts;
+  std::vector<std::pair<NodeId, NodeId>> removes;
+  for (const auto& [edge, present] : final_present) {
+    const bool now = has_edge(edge.first, edge.second);
+    if (present && !now) {
+      inserts.push_back(edge);
+    } else if (!present && now) {
+      removes.push_back(edge);
+    }
+  }
+  if (inserts.empty() && removes.empty()) return {};
+
+  auto insert_sorted = [](std::vector<NodeId>& a, NodeId x) {
+    a.insert(std::upper_bound(a.begin(), a.end(), x), x);
+  };
+  auto erase_sorted = [](std::vector<NodeId>& a, NodeId x) {
+    a.erase(std::lower_bound(a.begin(), a.end(), x));
+  };
+
+  std::vector<NodeId> frontier;
+  std::uint64_t extra_messages = 0;
+  // Insertions first, one raise at a time: each raise runs against exact
+  // estimates of the graph-so-far (see the header comment), so the table
+  // stays exact through the whole insertion pass.
+  for (const auto& [u, v] : inserts) {
+    insert_sorted(adjacency_[u], v);
+    insert_sorted(adjacency_[v], u);
+    ++num_edges_;
+    const NodeId K = std::min(estimate_[u], estimate_[v]);
+    const auto region = subcore_region({u, v}, K);
+    extra_messages += 2;  // the endpoints exchange the edge event
+    for (const NodeId w : region) {
+      estimate_[w] =
+          std::min<NodeId>(K + 1, static_cast<NodeId>(adjacency_[w].size()));
+      extra_messages += 3 * adjacency_[w].size();
+    }
+    frontier.insert(frontier.end(), region.begin(), region.end());
+    frontier.push_back(u);
+    frontier.push_back(v);
+  }
+  // Deletions second: estimates become safe upper bounds, and the single
+  // downward reconvergence below restores exactness for the whole batch.
+  for (const auto& [u, v] : removes) {
+    erase_sorted(adjacency_[u], v);
+    erase_sorted(adjacency_[v], u);
+    --num_edges_;
+    extra_messages += 2;
+    frontier.push_back(u);
+    frontier.push_back(v);
+  }
+
+  auto stats = reconverge(std::move(frontier));
+  stats.messages += extra_messages;
   lifetime_.rounds += stats.rounds;
   lifetime_.messages += stats.messages;
   lifetime_.nodes_activated += stats.nodes_activated;

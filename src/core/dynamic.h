@@ -28,8 +28,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "graph/edge_list.h"
 #include "graph/graph.h"
 
 namespace kcore::core {
@@ -57,6 +59,22 @@ class DynamicKCore {
 
   /// Remove edge {u,v} (no-op if absent).
   MaintenanceStats remove_edge(graph::NodeId u, graph::NodeId v);
+
+  /// Apply a whole batch of updates with ONE reconvergence instead of one
+  /// per edge. Self-loops and updates that do not change the topology
+  /// (duplicate inserts, absent removes, insert+remove churn within the
+  /// batch) are coalesced away — only the batch's NET topology effect is
+  /// applied, since transient edges cannot affect the final coreness.
+  ///
+  /// Soundness of the single reconvergence: net insertions are applied
+  /// one at a time, each raising its K-subcore candidate region to
+  /// min(K+1, degree). Because a raise computed from EXACT estimates is
+  /// itself exact (the peeled region is precisely the rising set), the
+  /// estimates remain exact after every insertion step by induction. Net
+  /// deletions then only lower coreness, so the table is a safe upper
+  /// bound and one downward reconvergence from all touched nodes restores
+  /// exactness (Theorem 2).
+  MaintenanceStats apply_batch(std::span<const graph::EdgeUpdate> updates);
 
   /// Append a fresh isolated node; returns its id.
   graph::NodeId add_node();

@@ -72,4 +72,94 @@ void write_edge_list_file(const std::string& path, const Graph& g) {
   KCORE_CHECK_MSG(out.good(), "write to '" << path << "' failed");
 }
 
+EdgeStream read_edge_stream(std::istream& in) {
+  EdgeStream stream;
+  std::string line;
+  std::size_t line_no = 0;
+  std::uint64_t last_time = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;                // blank
+    if (line[start] == '#' || line[start] == '%') continue;  // comment
+    std::istringstream fields(line.substr(start));
+    std::uint64_t t = 0;
+    std::string op;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    KCORE_CHECK_MSG(static_cast<bool>(fields >> t >> op >> a >> b),
+                    "malformed stream event at line " << line_no << ": '"
+                                                      << line << "'");
+    KCORE_CHECK_MSG(op == "+" || op == "-",
+                    "unknown op '" << op << "' at line " << line_no
+                                   << " (expected '+' or '-')");
+    KCORE_CHECK_MSG(stream.events.empty() || t >= last_time,
+                    "timestamp goes backwards at line "
+                        << line_no << " (" << t << " after " << last_time
+                        << ")");
+    KCORE_CHECK_MSG(a <= UINT32_MAX && b <= UINT32_MAX,
+                    "node id out of 32-bit range at line " << line_no);
+    last_time = t;
+    TimedEdgeUpdate event;
+    event.time = t;
+    event.update.op = op == "+" ? EdgeOp::kInsert : EdgeOp::kRemove;
+    event.update.u = static_cast<NodeId>(a);
+    event.update.v = static_cast<NodeId>(b);
+    stream.events.push_back(event);
+  }
+  return stream;
+}
+
+EdgeStream read_edge_stream_file(const std::string& path) {
+  std::ifstream in(path);
+  KCORE_CHECK_MSG(in.good(), "cannot open edge stream file '" << path << "'");
+  return read_edge_stream(in);
+}
+
+void write_edge_stream(std::ostream& out, const EdgeStream& stream) {
+  out << "# kcore-dist edge stream (t op u v)\n";
+  out << "# events " << stream.events.size() << "\n";
+  for (const TimedEdgeUpdate& event : stream.events) {
+    out << event.time << ' '
+        << (event.update.op == EdgeOp::kInsert ? '+' : '-') << ' '
+        << event.update.u << ' ' << event.update.v << '\n';
+  }
+}
+
+void write_edge_stream_file(const std::string& path, const EdgeStream& stream) {
+  std::ofstream out(path);
+  KCORE_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_edge_stream(out, stream);
+  out.flush();
+  KCORE_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+std::vector<EdgeUpdateBatch> batch_by_window(const EdgeStream& stream,
+                                             std::uint64_t window) {
+  std::vector<EdgeUpdateBatch> batches;
+  const std::size_t count = stream.events.size();
+  std::size_t i = 0;
+  while (i < count) {
+    const std::uint64_t t = stream.events[i].time;
+    EdgeUpdateBatch batch;
+    if (window == 0) {
+      batch.t_begin = t;
+      batch.t_end = t + 1;
+    } else {
+      // Anchor windows at the FIRST event's timestamp so a stream starting
+      // at t=1000 doesn't open with hundreds of empty windows.
+      const std::uint64_t t0 = stream.events.front().time;
+      const std::uint64_t index = (t - t0) / window;
+      batch.t_begin = t0 + index * window;
+      batch.t_end = batch.t_begin + window;
+    }
+    while (i < count && stream.events[i].time < batch.t_end) {
+      batch.updates.push_back(stream.events[i].update);
+      ++i;
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
 }  // namespace kcore::graph

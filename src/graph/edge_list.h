@@ -1,9 +1,14 @@
-// Plain-text edge-list input/output (SNAP-compatible).
+// Plain-text edge-list and edge-stream input/output (SNAP-compatible).
 //
-// Format: one "u v" pair per line, whitespace-separated; lines starting
-// with '#' or '%' are comments. Node ids in files may be arbitrary
-// non-negative integers — they are remapped to a dense [0, n) range on
-// load (SNAP files routinely have gaps).
+// Static format: one "u v" pair per line, whitespace-separated; lines
+// starting with '#' or '%' are comments. Node ids in files may be
+// arbitrary non-negative integers — they are remapped to a dense [0, n)
+// range on load (SNAP files routinely have gaps).
+//
+// Stream format (timestamped churn, consumed by core/dynamic and
+// src/live): one "t op u v" event per line, with t a non-decreasing
+// integer timestamp, op '+' (insert) or '-' (remove), and u/v DENSE node
+// ids into an already-loaded base graph. Same comment rules.
 #pragma once
 
 #include <cstdint>
@@ -35,5 +40,64 @@ void write_edge_list(std::ostream& out, const Graph& g);
 
 /// Convenience file wrapper around write_edge_list(std::ostream&).
 void write_edge_list_file(const std::string& path, const Graph& g);
+
+// --- timestamped edge streams ----------------------------------------------
+
+enum class EdgeOp : std::uint8_t {
+  kInsert,  // '+'
+  kRemove,  // '-'
+};
+
+/// One churn event. The SAME type drives the synchronous maintenance
+/// protocol (core::DynamicKCore::apply_batch) and the async live service
+/// (live::Service::apply), so both paths replay identical streams.
+struct EdgeUpdate {
+  EdgeOp op = EdgeOp::kInsert;
+  NodeId u = 0;
+  NodeId v = 0;
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// An EdgeUpdate with its arrival timestamp (arbitrary integer ticks).
+struct TimedEdgeUpdate {
+  std::uint64_t time = 0;
+  EdgeUpdate update;
+  friend bool operator==(const TimedEdgeUpdate&,
+                         const TimedEdgeUpdate&) = default;
+};
+
+/// A parsed stream: events in file order, timestamps non-decreasing.
+struct EdgeStream {
+  std::vector<TimedEdgeUpdate> events;
+};
+
+/// Consecutive events grouped into one apply unit: all events with
+/// timestamp in [t_begin, t_end).
+struct EdgeUpdateBatch {
+  std::uint64_t t_begin = 0;
+  std::uint64_t t_end = 0;
+  std::vector<EdgeUpdate> updates;
+};
+
+/// Parse a "t op u v" stream. Throws util::CheckError (with the line
+/// number) on malformed lines, unknown ops, or a timestamp that goes
+/// backwards — a half-read stream would silently corrupt a replay.
+[[nodiscard]] EdgeStream read_edge_stream(std::istream& in);
+
+/// Convenience file wrapper around read_edge_stream(std::istream&).
+[[nodiscard]] EdgeStream read_edge_stream_file(const std::string& path);
+
+/// Write a stream as "t op u v" lines with a comment header; the output
+/// round-trips through read_edge_stream.
+void write_edge_stream(std::ostream& out, const EdgeStream& stream);
+
+/// Convenience file wrapper around write_edge_stream(std::ostream&).
+void write_edge_stream_file(const std::string& path, const EdgeStream& stream);
+
+/// Group a stream into batches of `window` ticks anchored at the first
+/// event's timestamp; window 0 means one batch per distinct timestamp.
+/// Empty windows produce no batch.
+[[nodiscard]] std::vector<EdgeUpdateBatch> batch_by_window(
+    const EdgeStream& stream, std::uint64_t window);
 
 }  // namespace kcore::graph

@@ -1,0 +1,58 @@
+#include "live/live_graph.h"
+
+#include <algorithm>
+
+namespace kcore::live {
+
+using graph::NodeId;
+
+LiveGraph::LiveGraph(const graph::Graph& initial)
+    : adjacency_(initial.num_nodes()), num_edges_(initial.num_edges()) {
+  for (NodeId u = 0; u < initial.num_nodes(); ++u) {
+    const auto nbrs = initial.neighbors(u);
+    adjacency_[u].assign(nbrs.begin(), nbrs.end());
+  }
+}
+
+bool LiveGraph::has_edge(NodeId u, NodeId v) const {
+  const auto& a = adjacency_[u];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+bool LiveGraph::apply(const graph::EdgeUpdate& update) {
+  const NodeId u = update.u;
+  const NodeId v = update.v;
+  if (u == v) return false;
+  const bool present = has_edge(u, v);
+  if (update.op == graph::EdgeOp::kInsert) {
+    if (present) return false;
+    auto insert_sorted = [](std::vector<NodeId>& a, NodeId x) {
+      a.insert(std::upper_bound(a.begin(), a.end(), x), x);
+    };
+    insert_sorted(adjacency_[u], v);
+    insert_sorted(adjacency_[v], u);
+    ++num_edges_;
+  } else {
+    if (!present) return false;
+    auto erase_sorted = [](std::vector<NodeId>& a, NodeId x) {
+      a.erase(std::lower_bound(a.begin(), a.end(), x));
+    };
+    erase_sorted(adjacency_[u], v);
+    erase_sorted(adjacency_[v], u);
+    --num_edges_;
+  }
+  ++version_;
+  return true;
+}
+
+graph::Graph LiveGraph::snapshot() const {
+  graph::GraphBuilder b(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : adjacency_[u]) {
+      if (u < v) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace kcore::live

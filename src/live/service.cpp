@@ -1,0 +1,134 @@
+#include "live/service.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "obs/options.h"
+
+namespace kcore::live {
+
+using graph::NodeId;
+
+Service::Service(const graph::Graph& initial, const ServiceOptions& options)
+    : options_(options),
+      graph_(initial),
+      engine_(graph_, RepairOptions{options.threads, options.sched,
+                                    options.targeted_send}) {
+  if (obs::kEnabled && options_.metrics) {
+    // One registry slot: every live.* add happens on the writer thread
+    // (the repair workers' hot-path costs surface through RepairStats,
+    // folded in after each run — same single-source-of-truth convention
+    // as the async engine's post-run tally fold).
+    registry_ = std::make_unique<obs::Registry>(1);
+    c_repairs_ = registry_->counter("live.repairs");
+    c_epochs_ = registry_->counter("live.epoch_publishes");
+    c_relaxations_ = registry_->counter("live.relaxations");
+    c_seeded_ = registry_->counter("live.seeded_nodes");
+    c_raised_ = registry_->counter("live.raised_nodes");
+    c_rejected_ = registry_->counter("live.rejected_updates");
+  }
+  initial_stats_ = engine_.initialize();
+  if (registry_) {
+    registry_->add(c_repairs_, 0, 1);
+    registry_->add(c_relaxations_, 0, initial_stats_.relaxations);
+    registry_->add(c_seeded_, 0, initial_stats_.seeded);
+  }
+  publish();  // epoch 0: the initial converged table
+}
+
+std::shared_ptr<const Snapshot> Service::query() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::uint64_t Service::epoch() const { return query()->epoch; }
+
+void Service::publish() {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->epoch = epoch_;
+  snapshot->topology_version = graph_.version();
+  snapshot->num_nodes = graph_.num_nodes();
+  snapshot->num_edges = graph_.num_edges();
+  engine_.copy_coreness(snapshot->coreness);
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(snapshot);
+  }
+  ++epoch_;
+  if (registry_) registry_->add(c_epochs_, 0, 1);
+}
+
+ApplyResult Service::apply(std::span<const graph::EdgeUpdate> batch) {
+  ApplyResult result;
+
+  // Net topology effect (same coalescing as DynamicKCore::apply_batch):
+  // the LAST op per edge decides; transient churn inside the batch is
+  // ignored. Out-of-range ids are rejected instead of KCORE_CHECK-ing —
+  // a service survives garbage input.
+  const NodeId n = graph_.num_nodes();
+  std::map<std::pair<NodeId, NodeId>, bool> final_present;
+  std::uint64_t valid = 0;
+  for (const graph::EdgeUpdate& update : batch) {
+    NodeId u = update.u;
+    NodeId v = update.v;
+    if (u >= n || v >= n) {
+      ++result.rejected_updates;
+      continue;
+    }
+    if (u == v) {
+      ++result.ignored_updates;
+      continue;
+    }
+    if (u > v) std::swap(u, v);
+    final_present[{u, v}] = update.op == graph::EdgeOp::kInsert;
+    ++valid;
+  }
+
+  // Insertions first: each raise runs against a table that is exact for
+  // the graph-so-far, which keeps the raises (and therefore the single
+  // repair below) exact — see live/repair.h.
+  for (const auto& [edge, present] : final_present) {
+    if (!present || graph_.has_edge(edge.first, edge.second)) continue;
+    graph_.apply({graph::EdgeOp::kInsert, edge.first, edge.second});
+    engine_.note_insert(edge.first, edge.second);
+    ++result.applied_inserts;
+  }
+  for (const auto& [edge, present] : final_present) {
+    if (present || !graph_.has_edge(edge.first, edge.second)) continue;
+    graph_.apply({graph::EdgeOp::kRemove, edge.first, edge.second});
+    engine_.note_remove(edge.first, edge.second);
+    ++result.applied_removes;
+  }
+  result.ignored_updates +=
+      valid - result.applied_inserts - result.applied_removes;
+
+  result.repair = engine_.repair();
+  publish();
+  result.epoch = epoch_ - 1;
+
+  if (registry_) {
+    if (result.repair.seeded > 0) registry_->add(c_repairs_, 0, 1);
+    registry_->add(c_relaxations_, 0, result.repair.relaxations);
+    registry_->add(c_seeded_, 0, result.repair.seeded);
+    registry_->add(c_raised_, 0, result.repair.raised);
+    registry_->add(c_rejected_, 0, result.rejected_updates);
+  }
+  return result;
+}
+
+std::vector<ApplyResult> Service::replay(const UpdateLog& log) {
+  std::vector<ApplyResult> results;
+  results.reserve(log.num_batches());
+  for (std::size_t i = 0; i < log.num_batches(); ++i) {
+    results.push_back(apply(log.batch(i)));
+  }
+  return results;
+}
+
+obs::MetricsSnapshot Service::metrics() const {
+  if (!registry_) return {};
+  return registry_->snapshot();
+}
+
+}  // namespace kcore::live

@@ -1,0 +1,145 @@
+// live::Service — the live graph service: streaming edge churn with
+// incremental async repair and consistent-snapshot queries.
+//
+// Consistency contract:
+//  * One writer thread calls apply(); any number of reader threads call
+//    query() concurrently with it and with each other.
+//  * query() returns the last PUBLISHED snapshot: an immutable coreness
+//    table + topology version that the quiescence detector confirmed
+//    exact for that topology. Publication happens only after repair()
+//    returns (detector-confirmed fixed point), so no query ever observes
+//    a half-repaired table — readers see epoch e's exact coreness or
+//    epoch e+1's exact coreness, never a mix.
+//  * Every apply() publishes exactly ONE new epoch (even for an empty or
+//    fully-ignored batch), so epoch numbers count apply() calls and the
+//    `live.epoch_publishes` counter equals applies + 1 (the initial
+//    convergence publishes epoch 0).
+//
+// Update semantics per batch (identical to DynamicKCore::apply_batch, so
+// the simulator and async paths replay identical streams):
+//  * out-of-range node ids are REJECTED (counted, not applied — a live
+//    feed's garbage must not take the service down);
+//  * self-loops, duplicate inserts, absent removes and insert+remove
+//    churn within one batch are IGNORED (only the net topology effect is
+//    applied);
+//  * net insertions are applied before net deletions, each insertion
+//    raising its K-subcore candidate region (see live/repair.h), then
+//    one relaxation run re-converges the whole batch.
+//
+// Metric glossary (enabled via ServiceOptions::metrics in KCORE_OBS
+// builds; all counters are exposed through metrics() and must equal the
+// sums over the returned ApplyResults — the parity test pins this):
+//   live.repairs          repair runs that actually relaxed something
+//   live.epoch_publishes  snapshots published (applies + 1)
+//   live.relaxations      vertex recomputations across all repairs
+//   live.seeded_nodes     nodes seeded dirty (localized region size)
+//   live.raised_nodes     estimates raised by the insertion rule
+//   live.rejected_updates out-of-range updates dropped
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/run_options.h"
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+#include "live/live_graph.h"
+#include "live/repair.h"
+#include "live/update_log.h"
+#include "obs/metrics.h"
+
+namespace kcore::live {
+
+struct ServiceOptions {
+  unsigned threads = 0;  // repair width; 0 = hardware concurrency
+  core::SchedPolicy sched = core::SchedPolicy::kBound;
+  bool targeted_send = true;
+  /// Keep a live.* metric registry (no-op unless the build has
+  /// KCORE_OBS=ON; see metrics_enabled()).
+  bool metrics = false;
+};
+
+/// What query() hands out: immutable, shared, detector-confirmed exact.
+struct Snapshot {
+  std::uint64_t epoch = 0;             // publish count (0 = initial)
+  std::uint64_t topology_version = 0;  // LiveGraph mutations folded in
+  graph::NodeId num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::vector<graph::NodeId> coreness;
+};
+
+/// One apply() call's outcome (the live path's "extras").
+struct ApplyResult {
+  std::uint64_t epoch = 0;  // the epoch this batch published
+  std::uint64_t applied_inserts = 0;   // net edges added
+  std::uint64_t applied_removes = 0;   // net edges removed
+  std::uint64_t ignored_updates = 0;   // self-loops + net no-ops
+  std::uint64_t rejected_updates = 0;  // out-of-range node ids
+  RepairStats repair;
+};
+
+class Service {
+ public:
+  explicit Service(const graph::Graph& initial,
+                   const ServiceOptions& options = {});
+
+  /// The last quiescent snapshot (never null). Thread-safe; concurrent
+  /// with apply().
+  [[nodiscard]] std::shared_ptr<const Snapshot> query() const;
+
+  /// Apply one batch: mutate topology, repair incrementally, publish a
+  /// new epoch. Single-writer.
+  ApplyResult apply(std::span<const graph::EdgeUpdate> batch);
+
+  /// Apply every batch of a log in order; returns one result per batch.
+  std::vector<ApplyResult> replay(const UpdateLog& log);
+
+  /// Writer-side view of the current topology (do not call concurrently
+  /// with apply()).
+  [[nodiscard]] const LiveGraph& graph() const noexcept { return graph_; }
+
+  [[nodiscard]] unsigned workers() const noexcept { return engine_.workers(); }
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// True when the build compiled the obs layer in AND options.metrics
+  /// asked for the registry.
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return registry_ != nullptr;
+  }
+  /// Snapshot of the live.* counters; empty when metrics are off.
+  [[nodiscard]] obs::MetricsSnapshot metrics() const;
+
+  /// Cost of the constructor's from-scratch convergence (epoch 0); the
+  /// baseline the per-batch repair costs are compared against, and part
+  /// of the counters' parity equation (live.relaxations ==
+  /// initial_stats().relaxations + sum of ApplyResult relaxations).
+  [[nodiscard]] const RepairStats& initial_stats() const noexcept {
+    return initial_stats_;
+  }
+
+ private:
+  void publish();
+
+  ServiceOptions options_;
+  LiveGraph graph_;
+  RepairEngine engine_;
+  RepairStats initial_stats_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;  // guarded by snapshot_mutex_
+  std::uint64_t epoch_ = 0;  // written only by the writer thread
+
+  // live.* telemetry (writer-thread only; registry worker slot 0)
+  std::unique_ptr<obs::Registry> registry_;
+  obs::Counter c_repairs_;
+  obs::Counter c_epochs_;
+  obs::Counter c_relaxations_;
+  obs::Counter c_seeded_;
+  obs::Counter c_raised_;
+  obs::Counter c_rejected_;
+};
+
+}  // namespace kcore::live

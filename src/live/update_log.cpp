@@ -1,0 +1,33 @@
+#include "live/update_log.h"
+
+#include <utility>
+
+namespace kcore::live {
+
+void UpdateLog::seal() {
+  if (open_.empty()) return;
+  batches_.push_back(std::move(open_));
+  open_.clear();
+}
+
+void UpdateLog::append_batch(std::vector<graph::EdgeUpdate> batch) {
+  seal();
+  batches_.push_back(std::move(batch));
+}
+
+UpdateLog UpdateLog::from_stream(const graph::EdgeStream& stream,
+                                 std::uint64_t window) {
+  UpdateLog log;
+  for (auto& batch : graph::batch_by_window(stream, window)) {
+    log.append_batch(std::move(batch.updates));
+  }
+  return log;
+}
+
+std::uint64_t UpdateLog::num_updates() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& batch : batches_) total += batch.size();
+  return total;
+}
+
+}  // namespace kcore::live

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <exception>
@@ -37,24 +36,12 @@ namespace {
 
 using core::SchedPolicy;
 
-/// bound: clamp the estimate into the bitmap width.
-std::uint32_t bound_bucket(graph::NodeId estimate) {
-  return std::min<std::uint32_t>(estimate, AsyncWorklist::kBuckets - 1);
-}
-
-/// delta: log-scaled so the 64 buckets cover any drop magnitude;
-/// accumulated >= 1 keeps seeded work (bucket 0) behind every real change
-/// under descending pop order.
-std::uint32_t delta_bucket(std::uint32_t accumulated) {
-  return std::min<std::uint32_t>(
-      static_cast<std::uint32_t>(std::bit_width(accumulated)),
-      AsyncWorklist::kBuckets - 1);
-}
-
 }  // namespace
 
 // AsyncWorklist lives in par/async_worklist.h (a template over the chk
-// synchronization shim; this engine uses the RealSync instantiation).
+// synchronization shim; this engine uses the RealSync instantiation),
+// along with the per-policy bucket maps (bound_bucket / delta_bucket)
+// shared with the incremental repair engine in live/repair.cpp.
 
 // --- run_bsp_async ----------------------------------------------------------
 

@@ -28,7 +28,9 @@
 //    quiescence, never a transient dip.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -251,5 +253,26 @@ class BasicAsyncWorklist {
 
 /// The production instantiation (zero-overhead std::atomic passthrough).
 using AsyncWorklist = BasicAsyncWorklist<>;
+
+// --- bucket maps ------------------------------------------------------------
+// The priority each scheduling policy seeds/wakes with, shared by every
+// worklist client (the batch engine in par/async_engine.cpp and the
+// incremental repair engine in live/repair.cpp) so the policies cannot
+// drift between the full and the incremental paths.
+
+/// bound: clamp the estimate into the bitmap width — ascending pop order
+/// makes the lowest still-live estimate the peeling frontier.
+[[nodiscard]] inline std::uint32_t bound_bucket(std::uint32_t estimate) {
+  return std::min<std::uint32_t>(estimate, AsyncWorklist::kBuckets - 1);
+}
+
+/// delta: log-scaled so the buckets cover any drop magnitude; an
+/// accumulated value >= 1 keeps seeded work (bucket 0) behind every real
+/// change under descending pop order.
+[[nodiscard]] inline std::uint32_t delta_bucket(std::uint32_t accumulated) {
+  return std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(std::bit_width(accumulated)),
+      AsyncWorklist::kBuckets - 1);
+}
 
 }  // namespace kcore::par

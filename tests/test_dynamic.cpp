@@ -84,6 +84,121 @@ TEST(DynamicKCore, AddNodeStartsIsolated) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched updates: one reconvergence per batch
+// ---------------------------------------------------------------------------
+
+using graph::EdgeOp;
+using graph::EdgeUpdate;
+
+TEST(DynamicKCoreBatch, MatchesPerEdgeApplication) {
+  const Graph g = gen::erdos_renyi_gnm(150, 400, 11);
+  DynamicKCore batched(g);
+  DynamicKCore single(g);
+  util::Xoshiro256 rng(23);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<EdgeUpdate> batch;
+    for (int i = 0; i < 12; ++i) {
+      const auto u = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      if (u == v) continue;
+      batch.push_back(
+          {rng.next_bool(0.55) ? EdgeOp::kInsert : EdgeOp::kRemove, u, v});
+    }
+    batched.apply_batch(batch);
+    for (const EdgeUpdate& update : batch) {
+      if (update.op == EdgeOp::kInsert) {
+        single.add_edge(update.u, update.v);
+      } else {
+        single.remove_edge(update.u, update.v);
+      }
+    }
+    ASSERT_EQ(batched.coreness(), single.coreness()) << "round " << round;
+    ASSERT_EQ(batched.num_edges(), single.num_edges()) << "round " << round;
+    expect_exact(batched, "batched round");
+  }
+}
+
+TEST(DynamicKCoreBatch, CoalescesTransientChurnToNoOp) {
+  DynamicKCore dyn(gen::cycle(6));
+  const auto before = dyn.coreness();
+  // Insert+remove of the same edge inside one batch has no net effect —
+  // and must cost nothing (no reconvergence at all).
+  const std::vector<EdgeUpdate> batch{{EdgeOp::kInsert, 0, 3},
+                                      {EdgeOp::kRemove, 0, 3}};
+  const auto stats = dyn.apply_batch(batch);
+  EXPECT_EQ(stats.rounds, 0U);
+  EXPECT_EQ(stats.messages, 0U);
+  EXPECT_EQ(dyn.coreness(), before);
+  expect_exact(dyn, "transient churn");
+}
+
+TEST(DynamicKCoreBatch, LastOpPerEdgeWins) {
+  DynamicKCore dyn(gen::clique(5));
+  // remove, re-insert, remove again: the edge must end up absent.
+  const std::vector<EdgeUpdate> batch{{EdgeOp::kRemove, 0, 1},
+                                      {EdgeOp::kInsert, 0, 1},
+                                      {EdgeOp::kRemove, 0, 1}};
+  dyn.apply_batch(batch);
+  EXPECT_EQ(dyn.num_edges(), 9U);
+  expect_exact(dyn, "last op wins");
+  EXPECT_EQ(dyn.coreness(), (std::vector<NodeId>(5, 3)));
+}
+
+TEST(DynamicKCoreBatch, MixedInsertRaiseAndDeleteStaysExact) {
+  // Cycle of 4: the batch adds both chords (K4, coreness 3 — a two-level
+  // rise pipeline through sequential raises) while cutting a far edge.
+  DynamicKCore dyn(gen::cycle(8));
+  const std::vector<EdgeUpdate> batch{{EdgeOp::kInsert, 0, 2},
+                                      {EdgeOp::kInsert, 1, 3},
+                                      {EdgeOp::kInsert, 0, 3},
+                                      {EdgeOp::kRemove, 5, 6}};
+  dyn.apply_batch(batch);
+  expect_exact(dyn, "mixed batch");
+  EXPECT_EQ(dyn.coreness()[0], 3U);
+  EXPECT_EQ(dyn.coreness()[5], 1U);
+}
+
+TEST(DynamicKCoreBatch, IgnoresSelfLoopsAndDuplicates) {
+  DynamicKCore dyn(gen::clique(4));
+  const std::vector<EdgeUpdate> batch{{EdgeOp::kInsert, 2, 2},
+                                      {EdgeOp::kInsert, 0, 1},
+                                      {EdgeOp::kInsert, 1, 0}};
+  const auto stats = dyn.apply_batch(batch);
+  EXPECT_EQ(stats.rounds, 0U);
+  EXPECT_EQ(dyn.num_edges(), 6U);
+  expect_exact(dyn, "degenerate batch");
+  EXPECT_THROW(dyn.apply_batch(std::vector<EdgeUpdate>{
+                   {EdgeOp::kInsert, 0, 99}}),
+               util::CheckError);
+}
+
+TEST(DynamicKCoreBatch, OneReconvergenceCostsLessThanPerEdge) {
+  const Graph g = gen::barabasi_albert(300, 3, 29);
+  DynamicKCore batched(g);
+  DynamicKCore single(g);
+  util::Xoshiro256 rng(31);
+  std::vector<EdgeUpdate> batch;
+  for (int i = 0; i < 40; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    if (u == v) continue;
+    batch.push_back(
+        {rng.next_bool(0.5) ? EdgeOp::kInsert : EdgeOp::kRemove, u, v});
+  }
+  const auto stats = batched.apply_batch(batch);
+  std::uint64_t single_rounds = 0;
+  for (const EdgeUpdate& update : batch) {
+    const auto s = update.op == EdgeOp::kInsert
+                       ? single.add_edge(update.u, update.v)
+                       : single.remove_edge(update.u, update.v);
+    single_rounds += s.rounds;
+  }
+  ASSERT_EQ(batched.coreness(), single.coreness());
+  // One coalesced reconvergence vs 40 separate ones.
+  EXPECT_LT(stats.rounds, single_rounds);
+}
+
+// ---------------------------------------------------------------------------
 // Differential testing over random update sequences
 // ---------------------------------------------------------------------------
 

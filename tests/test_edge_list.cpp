@@ -58,6 +58,99 @@ TEST(EdgeList, EmptyInputYieldsEmptyGraph) {
   EXPECT_EQ(loaded.graph.num_edges(), 0U);
 }
 
+// ---------------------------------------------------------------------------
+// Timestamped edge streams (t op u v)
+// ---------------------------------------------------------------------------
+
+TEST(EdgeStream, ParsesOpsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# churn trace\n"
+      "0 + 1 2\n"
+      "\n"
+      "% another comment\n"
+      "0 - 3 4\n"
+      "5 + 2 3\n");
+  const EdgeStream stream = read_edge_stream(in);
+  ASSERT_EQ(stream.events.size(), 3U);
+  EXPECT_EQ(stream.events[0],
+            (TimedEdgeUpdate{0, {EdgeOp::kInsert, 1, 2}}));
+  EXPECT_EQ(stream.events[1],
+            (TimedEdgeUpdate{0, {EdgeOp::kRemove, 3, 4}}));
+  EXPECT_EQ(stream.events[2],
+            (TimedEdgeUpdate{5, {EdgeOp::kInsert, 2, 3}}));
+}
+
+TEST(EdgeStream, RejectsMalformedInput) {
+  {
+    std::istringstream in("0 + 1\n");  // missing endpoint
+    EXPECT_THROW(read_edge_stream(in), util::CheckError);
+  }
+  {
+    std::istringstream in("0 * 1 2\n");  // unknown op
+    EXPECT_THROW(read_edge_stream(in), util::CheckError);
+  }
+  {
+    std::istringstream in("5 + 1 2\n3 - 1 2\n");  // time goes backwards
+    EXPECT_THROW(read_edge_stream(in), util::CheckError);
+  }
+  {
+    std::istringstream in("not-a-stream\n");
+    EXPECT_THROW(read_edge_stream(in), util::CheckError);
+  }
+}
+
+TEST(EdgeStream, RoundTripsThroughWriteAndRead) {
+  EdgeStream original;
+  original.events = {{0, {EdgeOp::kInsert, 0, 1}},
+                     {0, {EdgeOp::kInsert, 1, 2}},
+                     {3, {EdgeOp::kRemove, 0, 1}},
+                     {7, {EdgeOp::kInsert, 4, 0}}};
+  std::ostringstream out;
+  write_edge_stream(out, original);
+  std::istringstream in(out.str());
+  const EdgeStream reread = read_edge_stream(in);
+  EXPECT_EQ(reread.events, original.events);
+}
+
+TEST(EdgeStream, BatchByWindowGroupsByTickRange) {
+  EdgeStream stream;
+  stream.events = {{0, {EdgeOp::kInsert, 0, 1}},
+                   {4, {EdgeOp::kInsert, 1, 2}},
+                   {5, {EdgeOp::kRemove, 0, 1}},
+                   {17, {EdgeOp::kInsert, 2, 3}}};
+  const auto batches = batch_by_window(stream, 5);
+  ASSERT_EQ(batches.size(), 3U);  // [0,5), [5,10), [15,20) — empty skipped
+  EXPECT_EQ(batches[0].t_begin, 0U);
+  EXPECT_EQ(batches[0].t_end, 5U);
+  EXPECT_EQ(batches[0].updates.size(), 2U);
+  EXPECT_EQ(batches[1].updates.size(), 1U);
+  EXPECT_EQ(batches[2].t_begin, 15U);
+  EXPECT_EQ(batches[2].updates.size(), 1U);
+}
+
+TEST(EdgeStream, BatchByZeroWindowSplitsPerTimestamp) {
+  EdgeStream stream;
+  stream.events = {{2, {EdgeOp::kInsert, 0, 1}},
+                   {2, {EdgeOp::kInsert, 1, 2}},
+                   {9, {EdgeOp::kRemove, 0, 1}}};
+  const auto batches = batch_by_window(stream, 0);
+  ASSERT_EQ(batches.size(), 2U);
+  EXPECT_EQ(batches[0].updates.size(), 2U);
+  EXPECT_EQ(batches[1].updates.size(), 1U);
+  EXPECT_EQ(batches[1].t_begin, 9U);
+}
+
+TEST(EdgeStream, WindowsAnchorAtFirstEvent) {
+  // A stream starting at t=1000 must not emit empty leading windows.
+  EdgeStream stream;
+  stream.events = {{1000, {EdgeOp::kInsert, 0, 1}},
+                   {1009, {EdgeOp::kInsert, 1, 2}}};
+  const auto batches = batch_by_window(stream, 10);
+  ASSERT_EQ(batches.size(), 1U);
+  EXPECT_EQ(batches[0].t_begin, 1000U);
+  EXPECT_EQ(batches[0].updates.size(), 2U);
+}
+
 TEST(EdgeList, WriteReadRoundtrip) {
   const Graph original = gen::erdos_renyi_gnm(200, 600, 17);
   std::stringstream buffer;

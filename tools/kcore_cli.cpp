@@ -10,6 +10,8 @@
 //              [--scheds lifo,delta,..] [--seeds 1,2,..] [--repeat N]
 //              [run options]
 //   generate   --family NAME [--n N] [--seed S] [--output FILE] [...]
+//   stream     --input FILE --updates FILE [--window W] [--verify]
+//              [run options] [--json]
 //   stats      --input FILE
 //   dot        --input FILE [--output FILE] [--max-nodes N]
 //   profiles   (list the built-in paper dataset profiles)
@@ -28,6 +30,8 @@
 //         --max-extra-delay 2 --dup-prob 0.2
 //   kcore sweep --input ba.txt --algos bz,bsp-par,bsp-async \
 //         --thread-counts 1,2,4 --repeat 3
+//   kcore stream --input ba.txt --updates churn.txt --window 10 \
+//         --threads 4 --sched bound --verify   # live service replay
 //   kcore dot --input ba.txt --output ba.dot
 #include <algorithm>
 #include <fstream>
@@ -46,6 +50,7 @@
 #include "graph/generators.h"
 #include "graph/metrics.h"
 #include "graph/stats.h"
+#include "live/service.h"
 #include "seq/kcore_seq.h"
 #include "util/args.h"
 #include "util/json.h"
@@ -77,6 +82,14 @@ int usage() {
                "[--repeat N]\n"
             << "            [run options] [--json]  (NDJSON: one report "
                "per run)\n"
+            << "  stream    --input FILE --updates FILE (t op u v lines, "
+               "op + or -)\n"
+            << "            [--window W]   (batch events into W-tick "
+               "windows; 0 = per timestamp)\n"
+            << "            [--verify]     (check every epoch against a "
+               "from-scratch bz run)\n"
+            << "            [run options] [--json]  (NDJSON: one object "
+               "per batch)\n"
             << "  generate  --family "
                "chain|cycle|clique|star|grid|er|ba|ws|rmat|regular|worst\n"
             << "            [--n N] [--m M] [--k K] [--beta B] [--seed S] "
@@ -539,6 +552,109 @@ int cmd_sweep(const util::Args& args) {
   return 0;
 }
 
+int cmd_stream(const util::Args& args) {
+  const graph::Graph g = load(args);
+  const auto updates_path = args.get("updates");
+  KCORE_CHECK_MSG(updates_path.has_value(), "--updates FILE is required");
+  const graph::EdgeStream stream =
+      graph::read_edge_stream_file(*updates_path);
+  const auto window =
+      static_cast<std::uint64_t>(args.get_int("window", 0));
+  const live::UpdateLog log = live::UpdateLog::from_stream(stream, window);
+  const bool verify = args.has("verify");
+  const bool json = args.has("json");
+
+  const auto run = api::run_options_from_args(args);
+  live::ServiceOptions options;
+  options.threads = run.threads;
+  options.sched = run.sched;
+  options.targeted_send = run.targeted_send;
+  options.metrics = run.obs.metrics;
+  live::Service service(g, options);
+
+  if (!json) {
+    std::cout << "graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+              << " edges; stream: " << stream.events.size() << " events in "
+              << log.num_batches() << " batches (window "
+              << (window == 0 ? std::string("per-timestamp")
+                              : std::to_string(window))
+              << ")\n"
+              << "service: threads=" << service.workers()
+              << " sched=" << api::to_string(options.sched)
+              << "; initial convergence: "
+              << service.initial_stats().relaxations << " relaxations, "
+              << util::fmt_double(service.initial_stats().repair_ms, 1)
+              << " ms\n\n";
+  }
+
+  util::TableWriter table({"batch", "events", "+ins", "-rem", "ignored",
+                           "rejected", "seeded", "raised", "relax", "steals",
+                           "ms", "epoch"});
+  std::uint64_t total_relax = 0;
+  std::uint64_t mismatched_epochs = 0;
+  for (std::size_t i = 0; i < log.num_batches(); ++i) {
+    const auto batch = log.batch(i);
+    const live::ApplyResult result = service.apply(batch);
+    total_relax += result.repair.relaxations;
+    bool exact = true;
+    if (verify) {
+      const auto expected = seq::coreness_bz(service.graph().snapshot());
+      exact = service.query()->coreness == expected;
+      if (!exact) ++mismatched_epochs;
+    }
+    if (json) {
+      util::JsonWriter w(std::cout);
+      w.begin_object();
+      w.member("batch", static_cast<std::uint64_t>(i));
+      w.member("events", static_cast<std::uint64_t>(batch.size()));
+      w.member("applied_inserts", result.applied_inserts);
+      w.member("applied_removes", result.applied_removes);
+      w.member("ignored", result.ignored_updates);
+      w.member("rejected", result.rejected_updates);
+      w.member("seeded", result.repair.seeded);
+      w.member("raised", result.repair.raised);
+      w.member("relaxations", result.repair.relaxations);
+      w.member("steals", result.repair.steals);
+      w.member("repair_ms", result.repair.repair_ms, 3);
+      w.member("epoch", result.epoch);
+      if (verify) w.member("exact", exact);
+      w.end_object();
+      std::cout << "\n";
+    } else {
+      table.add_row({std::to_string(i), std::to_string(batch.size()),
+                     std::to_string(result.applied_inserts),
+                     std::to_string(result.applied_removes),
+                     std::to_string(result.ignored_updates),
+                     std::to_string(result.rejected_updates),
+                     std::to_string(result.repair.seeded),
+                     std::to_string(result.repair.raised),
+                     std::to_string(result.repair.relaxations),
+                     std::to_string(result.repair.steals),
+                     util::fmt_double(result.repair.repair_ms, 2),
+                     std::to_string(result.epoch)});
+    }
+  }
+  if (!json) {
+    table.print(std::cout);
+    const auto snapshot = service.query();
+    std::cout << "\nfinal: epoch " << snapshot->epoch << ", "
+              << snapshot->num_edges << " edges, kmax "
+              << (snapshot->coreness.empty()
+                      ? 0
+                      : *std::max_element(snapshot->coreness.begin(),
+                                          snapshot->coreness.end()))
+              << ", " << total_relax
+              << " incremental relaxations across the stream\n";
+    if (verify) {
+      std::cout << (mismatched_epochs == 0
+                        ? "verify: every epoch matches a from-scratch bz "
+                          "decomposition\n"
+                        : "verify: MISMATCH\n");
+    }
+  }
+  return mismatched_epochs == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -551,6 +667,8 @@ int main(int argc, char** argv) {
       rc = cmd_decompose(args);
     } else if (cmd == "sweep") {
       rc = cmd_sweep(args);
+    } else if (cmd == "stream") {
+      rc = cmd_stream(args);
     } else if (cmd == "generate") {
       rc = cmd_generate(args);
     } else if (cmd == "stats") {
