@@ -21,14 +21,23 @@
 // batch also cross-checks the service table against that from-scratch
 // run, so the speedup numbers cannot drift away from correctness.
 //
+// Each cell then replays the IDENTICAL trace a second time through a
+// durable service (WAL on real storage, fsync every batch — the most
+// expensive policy) and reports the durability overhead: wall-clock
+// apply time with the WAL versus without, plus the bytes logged. The
+// scratch state directories live under stream_wal.tmp/ and are wiped
+// per cell.
+//
 //   {"dataset", "trace", "batch_mode", "batches", "updates",
 //    "incremental_relaxations", "full_relaxations", "relaxation_ratio",
 //    "seeded_mean", "seeded_max", "raised_mean", "raised_max",
-//    "incremental_ms", "full_ms"}
+//    "incremental_ms", "full_ms", "apply_ms", "durable_apply_ms",
+//    "wal_bytes", "durability_overhead"}
 //
 // into BENCH_stream.json (override with KCORE_BENCH_JSON). Honors
 // KCORE_QUICK (fewer batches, scaled-down graphs) for CI smoke runs.
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -46,6 +55,7 @@
 #include "live/service.h"
 #include "util/check.h"
 #include "util/env.h"
+#include "util/storage.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -87,7 +97,17 @@ struct Record {
   std::uint64_t raised_max = 0;
   double incremental_ms = 0.0;
   double full_ms = 0.0;
+  double apply_ms = 0.0;          // wall-clock apply, WAL off
+  double durable_apply_ms = 0.0;  // wall-clock apply, WAL on (fsync/batch)
+  std::uint64_t wal_bytes = 0;
+  double durability_overhead = 0.0;  // durable_apply_ms / apply_ms
 };
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 std::string json_of(const std::vector<Record>& records) {
   std::ostringstream out;
@@ -115,6 +135,10 @@ std::string json_of(const std::vector<Record>& records) {
     w.member("raised_max", r.raised_max);
     w.member("incremental_ms", r.incremental_ms, 3);
     w.member("full_ms", r.full_ms, 3);
+    w.member("apply_ms", r.apply_ms, 3);
+    w.member("durable_apply_ms", r.durable_apply_ms, 3);
+    w.member("wal_bytes", r.wal_bytes);
+    w.member("durability_overhead", r.durability_overhead, 2);
     w.end_object();
   }
   w.end_array();
@@ -216,6 +240,8 @@ Record run_cell(const graph::Graph& g, const std::string& dataset,
   r.edges = g.num_edges();
   std::vector<std::uint64_t> seeded;
   std::vector<std::uint64_t> raised;
+  std::vector<std::vector<EdgeUpdate>> replay_log;  // for the WAL-on leg
+  replay_log.reserve(static_cast<std::size_t>(num_batches));
   for (int b = 0; b < num_batches; ++b) {
     std::vector<EdgeUpdate> batch;
     batch.reserve(batch_size);
@@ -226,7 +252,10 @@ Record run_cell(const graph::Graph& g, const std::string& dataset,
         batch.push_back(sampler.draw_insert(rng, hubs, trace.hub_biased));
       }
     }
+    const auto apply_start = std::chrono::steady_clock::now();
     const live::ApplyResult applied = service.apply(batch);
+    r.apply_ms += ms_since(apply_start);
+    replay_log.push_back(batch);
     r.updates += batch.size();
     r.incremental_relaxations += applied.repair.relaxations;
     r.incremental_ms += applied.repair.repair_ms;
@@ -261,6 +290,36 @@ Record run_cell(const graph::Graph& g, const std::string& dataset,
           ? static_cast<double>(r.full_relaxations) /
                 static_cast<double>(r.incremental_relaxations)
           : 0.0;
+
+  // WAL-on leg: the identical trace through a durable service on real
+  // storage with the most conservative policy (fsync every batch), so
+  // the overhead column reports the true durability price. The repair
+  // work is identical batch for batch; only the logging differs.
+  {
+    util::Storage& fs = util::real_storage();
+    const std::string dir = std::string("stream_wal.tmp/") + dataset + "-" +
+                            trace.name + "-" + batch_mode;
+    if (fs.exists(dir)) {  // wipe a previous run's scratch state
+      for (const std::string& name : fs.list_dir(dir)) {
+        fs.remove_file(dir + "/" + name);
+      }
+    }
+    live::DurabilityOptions durability;
+    durability.dir = dir;
+    durability.fsync = live::FsyncPolicy::kEveryBatch;
+    live::Service durable(g, service_options, durability);
+    for (const auto& batch : replay_log) {
+      const auto start = std::chrono::steady_clock::now();
+      const live::ApplyResult applied = durable.apply(batch);
+      r.durable_apply_ms += ms_since(start);
+      r.wal_bytes += applied.wal_bytes;
+    }
+    KCORE_CHECK_MSG(durable.query()->coreness == service.query()->coreness,
+                    dataset << "/" << trace.name << "/" << batch_mode
+                            << ": durable replay diverged");
+  }
+  r.durability_overhead =
+      r.apply_ms > 0.0 ? r.durable_apply_ms / r.apply_ms : 0.0;
   return r;
 }
 
@@ -277,7 +336,8 @@ int main() {
 
   std::vector<Record> records;
   util::TableWriter table({"dataset", "trace", "mode", "updates", "inc relax",
-                           "full relax", "ratio", "seed mean", "seed max"});
+                           "full relax", "ratio", "seed mean", "seed max",
+                           "walKB", "dur ovh"});
   for (const auto& spec : eval::dataset_registry()) {
     const graph::Graph g =
         spec.build(scale, util::split_stream(options.base_seed, 0));
@@ -298,7 +358,10 @@ int main() {
                        std::to_string(r.full_relaxations),
                        util::fmt_double(r.relaxation_ratio, 1),
                        util::fmt_double(r.seeded_mean, 1),
-                       std::to_string(r.seeded_max)});
+                       std::to_string(r.seeded_max),
+                       util::fmt_double(static_cast<double>(r.wal_bytes) /
+                                            1024.0, 1),
+                       util::fmt_double(r.durability_overhead, 2)});
         records.push_back(r);
       }
     }

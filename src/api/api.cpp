@@ -10,6 +10,7 @@
 #include "core/one_to_one.h"
 #include "core/pregel_kcore.h"
 #include "live/service.h"
+#include "obs/obs.h"
 #include "par/async_engine.h"
 #include "par/runtime.h"
 #include "seq/kcore_seq.h"
@@ -461,6 +462,7 @@ ProtocolRegistry::ProtocolRegistry() {
   live.consumes_threads = true;
   live.consumes_sched = true;
   live.consumes_targeted_send = true;
+  live.consumes_obs = true;
   live.observer = ObserverGranularity::kNone;
   live.deterministic_extras = false;
 
@@ -506,6 +508,7 @@ ProtocolRegistry::ProtocolRegistry() {
          options.threads = request.options.threads;
          options.sched = request.options.sched;
          options.targeted_send = request.options.targeted_send;
+         options.metrics = request.options.obs.metrics;
          const live::Service service(*request.graph, options);
          const double total_ms =
              util::ms_between(start, util::SteadyClock::now());
@@ -529,6 +532,12 @@ ProtocolRegistry::ProtocolRegistry() {
          report.traffic.total_messages = extras.re_enqueues;
          report.traffic.converged = true;
          report.extras = extras;
+         if (service.metrics_enabled()) {
+           auto telemetry = std::make_shared<obs::RunTelemetry>();
+           telemetry->has_metrics = true;
+           telemetry->metrics = service.metrics();
+           report.telemetry = std::move(telemetry);
+         }
          return report;
        },
        nullptr});

@@ -7,8 +7,22 @@
 #include "util/check.h"
 
 namespace kcore::graph {
+namespace {
 
-LoadedGraph read_edge_list(std::istream& in) {
+// Environmental failures (unreadable files, malformed data) surface as
+// util::IoError: one user-facing line naming the source and the
+// offending line number, which CLIs print verbatim and exit — not a
+// CheckError stack-of-context meant for developers.
+[[noreturn]] void throw_parse_error(const std::string& source,
+                                    std::size_t line_no,
+                                    const std::string& message) {
+  throw util::IoError(source + " line " + std::to_string(line_no) + ": " +
+                      message);
+}
+
+}  // namespace
+
+LoadedGraph read_edge_list(std::istream& in, const std::string& source) {
   std::unordered_map<std::uint64_t, NodeId> dense_of;
   std::vector<std::uint64_t> original_ids;
   GraphBuilder builder;
@@ -31,9 +45,10 @@ LoadedGraph read_edge_list(std::istream& in) {
     std::istringstream fields(line.substr(start));
     std::uint64_t a = 0;
     std::uint64_t b = 0;
-    KCORE_CHECK_MSG(static_cast<bool>(fields >> a >> b),
-                    "malformed edge at line " << line_no << ": '" << line
-                                              << "'");
+    if (!(fields >> a >> b)) {
+      throw_parse_error(source, line_no,
+                        "malformed edge (expected 'u v'): '" + line + "'");
+    }
     // Intern in reading order (argument evaluation order is unspecified).
     const NodeId ua = intern(a);
     const NodeId ub = intern(b);
@@ -50,8 +65,10 @@ LoadedGraph read_edge_list(std::istream& in) {
 
 LoadedGraph read_edge_list_file(const std::string& path) {
   std::ifstream in(path);
-  KCORE_CHECK_MSG(in.good(), "cannot open edge list file '" << path << "'");
-  return read_edge_list(in);
+  if (!in.good()) {
+    throw util::IoError(path + ": cannot open edge list file");
+  }
+  return read_edge_list(in, path);
 }
 
 void write_edge_list(std::ostream& out, const Graph& g) {
@@ -66,13 +83,13 @@ void write_edge_list(std::ostream& out, const Graph& g) {
 
 void write_edge_list_file(const std::string& path, const Graph& g) {
   std::ofstream out(path);
-  KCORE_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  if (!out.good()) throw util::IoError(path + ": cannot open for writing");
   write_edge_list(out, g);
   out.flush();
-  KCORE_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+  if (!out.good()) throw util::IoError(path + ": write failed");
 }
 
-EdgeStream read_edge_stream(std::istream& in) {
+EdgeStream read_edge_stream(std::istream& in, const std::string& source) {
   EdgeStream stream;
   std::string line;
   std::size_t line_no = 0;
@@ -87,18 +104,23 @@ EdgeStream read_edge_stream(std::istream& in) {
     std::string op;
     std::uint64_t a = 0;
     std::uint64_t b = 0;
-    KCORE_CHECK_MSG(static_cast<bool>(fields >> t >> op >> a >> b),
-                    "malformed stream event at line " << line_no << ": '"
-                                                      << line << "'");
-    KCORE_CHECK_MSG(op == "+" || op == "-",
-                    "unknown op '" << op << "' at line " << line_no
-                                   << " (expected '+' or '-')");
-    KCORE_CHECK_MSG(stream.events.empty() || t >= last_time,
-                    "timestamp goes backwards at line "
-                        << line_no << " (" << t << " after " << last_time
-                        << ")");
-    KCORE_CHECK_MSG(a <= UINT32_MAX && b <= UINT32_MAX,
-                    "node id out of 32-bit range at line " << line_no);
+    if (!(fields >> t >> op >> a >> b)) {
+      throw_parse_error(source, line_no,
+                        "malformed stream event (expected 't op u v'): '" +
+                            line + "'");
+    }
+    if (op != "+" && op != "-") {
+      throw_parse_error(source, line_no,
+                        "unknown op '" + op + "' (expected '+' or '-')");
+    }
+    if (!stream.events.empty() && t < last_time) {
+      throw_parse_error(source, line_no,
+                        "timestamp goes backwards (" + std::to_string(t) +
+                            " after " + std::to_string(last_time) + ")");
+    }
+    if (a > UINT32_MAX || b > UINT32_MAX) {
+      throw_parse_error(source, line_no, "node id out of 32-bit range");
+    }
     last_time = t;
     TimedEdgeUpdate event;
     event.time = t;
@@ -112,8 +134,10 @@ EdgeStream read_edge_stream(std::istream& in) {
 
 EdgeStream read_edge_stream_file(const std::string& path) {
   std::ifstream in(path);
-  KCORE_CHECK_MSG(in.good(), "cannot open edge stream file '" << path << "'");
-  return read_edge_stream(in);
+  if (!in.good()) {
+    throw util::IoError(path + ": cannot open edge stream file");
+  }
+  return read_edge_stream(in, path);
 }
 
 void write_edge_stream(std::ostream& out, const EdgeStream& stream) {
@@ -128,10 +152,10 @@ void write_edge_stream(std::ostream& out, const EdgeStream& stream) {
 
 void write_edge_stream_file(const std::string& path, const EdgeStream& stream) {
   std::ofstream out(path);
-  KCORE_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  if (!out.good()) throw util::IoError(path + ": cannot open for writing");
   write_edge_stream(out, stream);
   out.flush();
-  KCORE_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+  if (!out.good()) throw util::IoError(path + ": write failed");
 }
 
 std::vector<EdgeUpdateBatch> batch_by_window(const EdgeStream& stream,

@@ -27,9 +27,12 @@ struct LoadedGraph {
   std::vector<std::uint64_t> original_ids;  // original_ids[dense] = file id
 };
 
-/// Parse an edge list from a stream. Throws util::CheckError on malformed
-/// lines (a half-read graph would silently corrupt an experiment).
-[[nodiscard]] LoadedGraph read_edge_list(std::istream& in);
+/// Parse an edge list from a stream. Throws util::IoError on malformed
+/// lines (a half-read graph would silently corrupt an experiment), with
+/// the offending line number and `source` (a file name, for the file
+/// wrappers) in the message.
+[[nodiscard]] LoadedGraph read_edge_list(std::istream& in,
+                                         const std::string& source = "input");
 
 /// Convenience file wrapper around read_edge_list(std::istream&).
 [[nodiscard]] LoadedGraph read_edge_list_file(const std::string& path);
@@ -79,10 +82,11 @@ struct EdgeUpdateBatch {
   std::vector<EdgeUpdate> updates;
 };
 
-/// Parse a "t op u v" stream. Throws util::CheckError (with the line
-/// number) on malformed lines, unknown ops, or a timestamp that goes
-/// backwards — a half-read stream would silently corrupt a replay.
-[[nodiscard]] EdgeStream read_edge_stream(std::istream& in);
+/// Parse a "t op u v" stream. Throws util::IoError (with `source` and
+/// the line number) on malformed lines, unknown ops, or a timestamp that
+/// goes backwards — a half-read stream would silently corrupt a replay.
+[[nodiscard]] EdgeStream read_edge_stream(std::istream& in,
+                                          const std::string& source = "input");
 
 /// Convenience file wrapper around read_edge_stream(std::istream&).
 [[nodiscard]] EdgeStream read_edge_stream_file(const std::string& path);

@@ -1,0 +1,106 @@
+#include "live/ingest.h"
+
+#include <utility>
+
+namespace kcore::live {
+
+Ingestor::Ingestor(Service& service, const IngestOptions& options)
+    : service_(service), options_(options) {
+  KCORE_CHECK_MSG(options_.queue_capacity > 0,
+                  "IngestOptions::queue_capacity must be > 0");
+  consumer_ = std::thread([this] { consume(); });
+}
+
+Ingestor::~Ingestor() {
+  close();
+  if (consumer_.joinable()) consumer_.join();
+}
+
+bool Ingestor::submit(std::vector<graph::EdgeUpdate> batch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.submitted;
+  if (closed_) {
+    ++stats_.rejected;
+    service_.note_overload_reject();  // single-writer lane: serialized here
+    return false;
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    if (options_.policy == OverloadPolicy::kReject) {
+      ++stats_.rejected;
+      service_.note_overload_reject();
+      return false;
+    }
+    not_full_.wait(lock, [this] {
+      return closed_ || queue_.size() < options_.queue_capacity;
+    });
+    if (closed_) {
+      ++stats_.rejected;
+      service_.note_overload_reject();
+      return false;
+    }
+  }
+  queue_.push_back(std::move(batch));
+  ++stats_.accepted;
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void Ingestor::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+void Ingestor::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+IngestStats Ingestor::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string Ingestor::last_error() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+void Ingestor::consume() {
+  while (true) {
+    std::vector<graph::EdgeUpdate> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    not_full_.notify_one();
+    // Apply OUTSIDE the lock: repair can be long, and producers must be
+    // able to fill the freed slot (or get rejected) meanwhile. A WAL
+    // IoError fails this batch only (the service stayed consistent —
+    // see Service::apply) and the queue keeps draining; anything else
+    // (CrashPoint included) is allowed to take the thread down.
+    try {
+      ApplyResult result = service_.apply(batch);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      results_.push_back(result);
+      ++stats_.applied;
+      --in_flight_;
+    } catch (const util::IoError& e) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.io_errors;
+      last_error_ = e.what();
+      --in_flight_;
+    }
+    drained_.notify_all();
+  }
+}
+
+}  // namespace kcore::live

@@ -1,0 +1,107 @@
+// Bounded, rate-controlled ingestion in front of live::Service.
+//
+// The service's apply() is single-writer and synchronous: a repair that
+// takes longer than the arrival gap would make callers queue unboundedly
+// (and an unbounded queue is just an out-of-memory crash on a delay).
+// The Ingestor makes the overload policy EXPLICIT: producers submit()
+// batches into a bounded queue; one consumer thread (the service's
+// single writer) drains it through Service::apply(). When the queue is
+// full the policy decides:
+//   kBlock  — submit() waits for space (backpressure; nothing is lost);
+//   kReject — submit() returns false immediately, and the drop is
+//             counted (IngestStats::rejected and, when metrics are on,
+//             live.overload_rejects) — load shedding you can alert on,
+//             instead of latency creep you can't.
+//
+// Thread contract: any number of producer threads may call submit()
+// concurrently; stats() and close()/drain() are thread-safe. ApplyResults
+// are collected in submission order and readable via results() once the
+// consumer is quiescent (after drain() or close()).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "live/service.h"
+
+namespace kcore::live {
+
+enum class OverloadPolicy : std::uint8_t {
+  kBlock,   // backpressure: submit() waits for queue space
+  kReject,  // load shedding: submit() fails fast, counted
+};
+
+struct IngestOptions {
+  std::size_t queue_capacity = 64;  // max batches waiting; must be > 0
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+};
+
+struct IngestStats {
+  std::uint64_t submitted = 0;  // submit() calls
+  std::uint64_t accepted = 0;   // entered the queue
+  std::uint64_t rejected = 0;   // turned away (kReject, queue full)
+  std::uint64_t applied = 0;    // batches the consumer has applied
+  /// Accepted batches whose apply() failed with util::IoError (WAL
+  /// write failure). The service stayed consistent; the batch is gone.
+  std::uint64_t io_errors = 0;
+};
+
+class Ingestor {
+ public:
+  /// The service must outlive the Ingestor. Spawns the consumer thread.
+  Ingestor(Service& service, const IngestOptions& options = {});
+
+  /// Joins the consumer (drains what was accepted first).
+  ~Ingestor();
+
+  Ingestor(const Ingestor&) = delete;
+  Ingestor& operator=(const Ingestor&) = delete;
+
+  /// Enqueue one batch. Returns false iff the batch was rejected
+  /// (kReject policy, queue full) or the Ingestor is closed.
+  bool submit(std::vector<graph::EdgeUpdate> batch);
+
+  /// Stop accepting; the consumer finishes the accepted backlog.
+  void close();
+
+  /// Block until every accepted batch has been applied.
+  void drain();
+
+  [[nodiscard]] IngestStats stats() const;
+
+  /// Message of the most recent apply() IoError ("" when none).
+  [[nodiscard]] std::string last_error() const;
+
+  /// ApplyResults in submission order. Only call when the consumer is
+  /// quiescent (after drain() or close()+destruction ordering).
+  [[nodiscard]] const std::vector<ApplyResult>& results() const {
+    return results_;
+  }
+
+ private:
+  void consume();
+
+  Service& service_;
+  IngestOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;   // producers wait (kBlock)
+  std::condition_variable not_empty_;  // consumer waits
+  std::condition_variable drained_;    // drain() waits
+  std::deque<std::vector<graph::EdgeUpdate>> queue_;
+  IngestStats stats_;
+  bool closed_ = false;
+  std::size_t in_flight_ = 0;  // popped but not yet applied
+
+  std::string last_error_;  // guarded by mutex_
+
+  std::vector<ApplyResult> results_;  // consumer-written; read when idle
+  std::thread consumer_;
+};
+
+}  // namespace kcore::live

@@ -53,6 +53,16 @@ RepairStats RepairEngine::initialize() {
   return repair();
 }
 
+void RepairEngine::warm_start(const std::vector<NodeId>& coreness) {
+  KCORE_CHECK_MSG(coreness.size() == est_.size(),
+                  "warm_start table size " << coreness.size()
+                                           << " != node count " << est_.size());
+  const NodeId n = graph_.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    est_[u].store(coreness[u], std::memory_order_relaxed);
+  }
+}
+
 std::vector<NodeId> RepairEngine::subcore_region(NodeId u, NodeId v,
                                                  NodeId K) {
   // Mirrors core::DynamicKCore::subcore_region over the live adjacency

@@ -70,6 +70,14 @@ class RepairEngine {
   /// seeded — Algorithm 1's initialization on the async runtime.
   RepairStats initialize();
 
+  /// Adopt `coreness` as the already-converged table without relaxing
+  /// anything — the recovery path. The caller vouches the table is exact
+  /// for the CURRENT topology (a CRC-validated checkpoint); Theorems 1–2
+  /// make every subsequent note_*/repair() cycle exact from here, so a
+  /// restart pays zero relaxations instead of a full recompute. Size
+  /// must match the node count.
+  void warm_start(const std::vector<graph::NodeId>& coreness);
+
   /// Record an insertion of {u,v} that was ALREADY applied to the graph:
   /// raises the K-subcore candidate region and marks it dirty. Must run
   /// between repairs (the table is exact when it executes).

@@ -19,6 +19,16 @@ class CheckError : public std::logic_error {
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Thrown on environmental failures — unreadable files, malformed input
+/// data, full disks. Unlike CheckError the message is meant for the END
+/// USER, not the developer: no source locations, no expression text, one
+/// actionable line ("churn.txt line 12: unknown op 'x' (expected '+' or
+/// '-')"). CLIs catch it and exit with the message verbatim.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_check_error(const char* expr, const char* file,
                                     int line, const std::string& extra);

@@ -1,0 +1,326 @@
+#include "util/storage.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kcore::util {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& path, const char* verb) {
+  throw IoError(path + ": cannot " + verb + " (" + std::strerror(errno) + ")");
+}
+
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+void write_all(int fd, const std::string& path, std::string_view bytes) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(path, "write");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+class RealStorage final : public Storage {
+ public:
+  bool exists(const std::string& path) override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    std::vector<std::string> names;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) return names;
+      throw_errno(dir, "open directory");
+    }
+    while (const dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  std::string read_file(const std::string& path) override {
+    FdGuard fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+    if (fd.get() < 0) throw_errno(path, "open");
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno(path, "read");
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+  std::uint64_t file_size(const std::string& path) override {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) throw_errno(path, "stat");
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  void write_file(const std::string& path, std::string_view bytes) override {
+    FdGuard fd(
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    if (fd.get() < 0) throw_errno(path, "create");
+    write_all(fd.get(), path, bytes);
+  }
+
+  void append_file(const std::string& path, std::string_view bytes) override {
+    FdGuard fd(
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644));
+    if (fd.get() < 0) throw_errno(path, "open for append");
+    write_all(fd.get(), path, bytes);
+  }
+
+  void sync_file(const std::string& path) override {
+    FdGuard fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+    if (fd.get() < 0) throw_errno(path, "open for sync");
+    if (::fsync(fd.get()) != 0) throw_errno(path, "fsync");
+  }
+
+  void rename_file(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) throw_errno(from, "rename");
+  }
+
+  void truncate_file(const std::string& path, std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      throw_errno(path, "truncate");
+    }
+  }
+
+  void remove_file(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) throw_errno(path, "remove");
+  }
+
+  void make_dir(const std::string& path) override {
+    // mkdir -p: create each prefix, tolerating ones that already exist.
+    for (std::size_t pos = 0; pos != std::string::npos;) {
+      pos = path.find('/', pos + 1);
+      std::string prefix = path.substr(0, pos);
+      if (prefix.empty()) continue;
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw_errno(prefix, "mkdir");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Storage& real_storage() {
+  static RealStorage storage;
+  return storage;
+}
+
+// ---------------------------------------------------------------------------
+// MemStorage
+
+void MemStorage::check_fault(const std::string& path, std::string_view bytes,
+                             bool is_write) {
+  const std::uint64_t op = ops_++;
+  if (plan_.kind == FaultPlan::Kind::kNone || op != plan_.at_op) return;
+  const FaultPlan plan = plan_;
+  plan_ = FaultPlan{};  // fire once, then disarm for recovery
+  switch (plan.kind) {
+    case FaultPlan::Kind::kNone:
+      return;
+    case FaultPlan::Kind::kFail:
+      throw IoError(path + ": injected I/O failure (EIO)");
+    case FaultPlan::Kind::kTorn:
+      // A short write: the front half of the payload reached the platter
+      // before the power cut, the rest never existed.
+      if (is_write && !bytes.empty()) {
+        FileState& f = files_[path];
+        f.content.append(bytes.substr(0, bytes.size() / 2));
+        f.durable_size = f.content.size();
+        f.durable_entry = true;
+      }
+      [[fallthrough]];
+    case FaultPlan::Kind::kCrashBefore:
+      crashed_ = true;
+      crash_locked();
+      throw CrashPoint(op);
+  }
+}
+
+void MemStorage::crash_locked() {
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (!it->second.durable_entry) {
+      it = files_.erase(it);
+      continue;
+    }
+    it->second.content.resize(it->second.durable_size);
+    ++it;
+  }
+}
+
+void MemStorage::crash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = true;
+  crash_locked();
+}
+
+bool MemStorage::exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(path, {}, false);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+std::vector<std::string> MemStorage::list_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(dir, {}, false);
+  std::vector<std::string> names;
+  const std::string prefix = dir + "/";
+  auto collect = [&](const std::string& path) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix))
+      return;
+    std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(std::move(rest));
+  };
+  for (const auto& [path, f] : files_) collect(path);
+  for (const auto& [path, d] : dirs_) collect(path);
+  return names;
+}
+
+std::string MemStorage::read_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(path, {}, false);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw IoError(path + ": cannot open (No such file or directory)");
+  }
+  return it->second.content;
+}
+
+std::uint64_t MemStorage::file_size(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(path, {}, false);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw IoError(path + ": cannot stat (No such file or directory)");
+  }
+  return it->second.content.size();
+}
+
+void MemStorage::write_file(const std::string& path, std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(path, bytes, true);
+  FileState& f = files_[path];
+  f.content.assign(bytes);
+  f.durable_size = 0;  // rewritten contents are volatile until sync
+}
+
+void MemStorage::append_file(const std::string& path, std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(path, bytes, true);
+  files_[path].content.append(bytes);
+}
+
+void MemStorage::sync_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(path, {}, false);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw IoError(path + ": cannot open for sync (No such file or directory)");
+  }
+  it->second.durable_size = it->second.content.size();
+  it->second.durable_entry = true;
+}
+
+void MemStorage::rename_file(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(from, {}, false);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    throw IoError(from + ": cannot rename (No such file or directory)");
+  }
+  FileState f = std::move(it->second);
+  files_.erase(it);
+  // Journalled-fs assumption: once rename returns, the new entry (with
+  // the file's current contents) survives a crash.
+  f.durable_size = f.content.size();
+  f.durable_entry = true;
+  files_[to] = std::move(f);
+}
+
+void MemStorage::truncate_file(const std::string& path, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(path, {}, false);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw IoError(path + ": cannot truncate (No such file or directory)");
+  }
+  FileState& f = it->second;
+  if (size < f.content.size()) f.content.resize(size);
+  if (f.durable_size > size) f.durable_size = size;
+}
+
+void MemStorage::remove_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(path, {}, false);
+  if (files_.erase(path) == 0) {
+    throw IoError(path + ": cannot remove (No such file or directory)");
+  }
+}
+
+void MemStorage::make_dir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_fault(path, {}, false);
+  // Directories are durable immediately; the interesting faults are all
+  // in the file data path.
+  std::string prefix;
+  for (std::size_t pos = 0; pos != std::string::npos;) {
+    pos = path.find('/', pos + 1);
+    prefix = path.substr(0, pos);
+    if (!prefix.empty()) dirs_[prefix] = true;
+  }
+  dirs_[path] = true;
+}
+
+void MemStorage::set_fault(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+}
+
+std::uint64_t MemStorage::op_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ops_;
+}
+
+bool MemStorage::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+}  // namespace kcore::util

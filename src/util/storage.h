@@ -1,0 +1,154 @@
+// Pluggable file backend for the durable live service.
+//
+// Same design as chk's sync shim: production code talks to the small
+// `Storage` interface, the default `real_storage()` backend is a thin
+// POSIX passthrough, and tests swap in `MemStorage` — an in-memory file
+// system that models *durability* (bytes appended but not fsynced are
+// lost on crash) and injects deterministic faults at any operation
+// index (crash-before-op, torn write, EIO failure). That turns "does
+// recovery work after a crash at every possible point?" into an
+// exhaustive loop instead of a flaky kill -9 race.
+//
+// Durability model (MemStorage):
+//   - append/write grow a file's VOLATILE bytes; sync_file promotes the
+//     current contents (and the file's directory entry) to DURABLE.
+//   - rename_file is atomic and durable once executed (journalled-fs
+//     assumption); the crash-before-rename fault site covers the torn
+//     case explicitly.
+//   - crash() drops every volatile byte and every never-synced file —
+//     exactly what a power cut leaves behind.
+//
+// Fault plans fire ONCE at a given operation index and then disarm, so
+// recovery code running on the same storage afterwards sees a healthy
+// (post-crash) file system.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kcore::util {
+
+/// Thrown by MemStorage when a fault plan's crash site fires. Models
+/// the process dying mid-operation: the service's writer thread unwinds,
+/// and the test re-opens the service on the same (now post-crash)
+/// storage. Deliberately NOT an IoError — production code must not
+/// catch-and-continue past a simulated power cut.
+class CrashPoint : public std::exception {
+ public:
+  explicit CrashPoint(std::uint64_t op) : op_(op) {
+    what_ = "simulated crash at storage op " + std::to_string(op);
+  }
+  const char* what() const noexcept override { return what_.c_str(); }
+  std::uint64_t op() const { return op_; }
+
+ private:
+  std::uint64_t op_;
+  std::string what_;
+};
+
+/// Minimal file-system surface the WAL and checkpoint writers need.
+/// Every method throws util::IoError on environmental failure. Paths
+/// are plain strings; directories are created with make_dir (mkdir -p
+/// semantics).
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  virtual bool exists(const std::string& path) = 0;
+  /// Entry names (not full paths) directly under `dir`; empty if the
+  /// directory does not exist.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+  virtual std::string read_file(const std::string& path) = 0;
+  virtual std::uint64_t file_size(const std::string& path) = 0;
+
+  /// Create-or-truncate `path` and write `bytes` (not yet durable).
+  virtual void write_file(const std::string& path, std::string_view bytes) = 0;
+  virtual void append_file(const std::string& path, std::string_view bytes) = 0;
+  /// Promote the file's current contents to durable (fsync).
+  virtual void sync_file(const std::string& path) = 0;
+  /// Atomic replace; durable once it returns.
+  virtual void rename_file(const std::string& from, const std::string& to) = 0;
+  virtual void truncate_file(const std::string& path, std::uint64_t size) = 0;
+  virtual void remove_file(const std::string& path) = 0;
+  virtual void make_dir(const std::string& path) = 0;
+};
+
+/// Process-wide POSIX backend.
+Storage& real_storage();
+
+/// A single injected fault. `at_op` indexes the storage's monotone
+/// operation counter (every Storage call on MemStorage is one op —
+/// reads included, so a crash can land between any two calls).
+struct FaultPlan {
+  enum class Kind {
+    kNone,
+    /// Crash cleanly before op `at_op` executes.
+    kCrashBefore,
+    /// For an append/write op: persist only the first half of the
+    /// bytes, then crash — a short write / torn record.
+    kTorn,
+    /// Op `at_op` fails with IoError (EIO); no crash, state intact.
+    kFail,
+  };
+  Kind kind = Kind::kNone;
+  std::uint64_t at_op = 0;
+};
+
+/// In-memory file system with the durability model described above.
+/// Thread-safe (single mutex); intended for tests.
+class MemStorage : public Storage {
+ public:
+  bool exists(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  std::string read_file(const std::string& path) override;
+  std::uint64_t file_size(const std::string& path) override;
+  void write_file(const std::string& path, std::string_view bytes) override;
+  void append_file(const std::string& path, std::string_view bytes) override;
+  void sync_file(const std::string& path) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void truncate_file(const std::string& path, std::uint64_t size) override;
+  void remove_file(const std::string& path) override;
+  void make_dir(const std::string& path) override;
+
+  /// Arm a fault. Replaces any previously armed plan.
+  void set_fault(FaultPlan plan);
+  /// Total Storage calls so far — the crash matrix dry-runs once to
+  /// learn this, then replays with a crash at every index.
+  std::uint64_t op_count() const;
+  /// True once an armed kCrashBefore/kTorn plan has fired.
+  bool crashed() const;
+
+  /// Drop every volatile byte and every never-synced file. Called
+  /// automatically when a crash fault fires; tests may also call it
+  /// directly to simulate a kill between storage operations.
+  void crash();
+
+ private:
+  struct FileState {
+    std::string content;
+    std::uint64_t durable_size = 0;
+    bool durable_entry = false;
+  };
+
+  // Bumps the op counter and fires the armed plan if due. Returns true
+  // if the op should proceed normally; kTorn handling is done by the
+  // caller via the torn_ outparams.
+  void check_fault(const std::string& path, std::string_view bytes,
+                   bool is_write);
+  void crash_locked();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FileState> files_;
+  std::map<std::string, bool> dirs_;  // value: durable_entry
+  FaultPlan plan_;
+  std::uint64_t ops_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace kcore::util

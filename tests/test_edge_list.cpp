@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "graph/generators.h"
@@ -44,12 +45,12 @@ TEST(EdgeList, RemapsSparseIds) {
 
 TEST(EdgeList, RejectsMalformedLine) {
   std::istringstream in("0 1\nnot-an-edge\n");
-  EXPECT_THROW(read_edge_list(in), util::CheckError);
+  EXPECT_THROW(read_edge_list(in), util::IoError);
 }
 
 TEST(EdgeList, RejectsHalfEdge) {
   std::istringstream in("0\n");
-  EXPECT_THROW(read_edge_list(in), util::CheckError);
+  EXPECT_THROW(read_edge_list(in), util::IoError);
 }
 
 TEST(EdgeList, EmptyInputYieldsEmptyGraph) {
@@ -83,19 +84,19 @@ TEST(EdgeStream, ParsesOpsCommentsAndBlankLines) {
 TEST(EdgeStream, RejectsMalformedInput) {
   {
     std::istringstream in("0 + 1\n");  // missing endpoint
-    EXPECT_THROW(read_edge_stream(in), util::CheckError);
+    EXPECT_THROW(read_edge_stream(in), util::IoError);
   }
   {
     std::istringstream in("0 * 1 2\n");  // unknown op
-    EXPECT_THROW(read_edge_stream(in), util::CheckError);
+    EXPECT_THROW(read_edge_stream(in), util::IoError);
   }
   {
     std::istringstream in("5 + 1 2\n3 - 1 2\n");  // time goes backwards
-    EXPECT_THROW(read_edge_stream(in), util::CheckError);
+    EXPECT_THROW(read_edge_stream(in), util::IoError);
   }
   {
     std::istringstream in("not-a-stream\n");
-    EXPECT_THROW(read_edge_stream(in), util::CheckError);
+    EXPECT_THROW(read_edge_stream(in), util::IoError);
   }
 }
 
@@ -193,7 +194,39 @@ TEST(EdgeList, FileRoundtrip) {
 
 TEST(EdgeList, MissingFileThrows) {
   EXPECT_THROW(read_edge_list_file("/nonexistent/path/nope.txt"),
-               util::CheckError);
+               util::IoError);
+}
+
+TEST(EdgeStream, ParseErrorsNameSourceAndLine) {
+  // The satellite contract: a bad stream line surfaces as ONE
+  // user-facing diagnostic carrying the source name and line number —
+  // what `kcore stream` prints verbatim before exiting.
+  std::istringstream in("0 + 1 2\n1 * 3 4\n");
+  try {
+    read_edge_stream(in, "churn.txt");
+    FAIL() << "expected util::IoError";
+  } catch (const util::IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("churn.txt"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("'*'"), std::string::npos) << what;
+  }
+}
+
+TEST(EdgeStream, FileParseErrorsNameThePath) {
+  const std::string path = ::testing::TempDir() + "/kcore_bad_stream.txt";
+  {
+    std::ofstream out(path);
+    out << "0 + 1 2\n5 - 1\n";
+  }
+  try {
+    (void)read_edge_stream_file(path);
+    FAIL() << "expected util::IoError";
+  } catch (const util::IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,197 @@
+// util::MemStorage is the foundation the crash-matrix tests stand on:
+// if its durability model is wrong (bytes surviving a crash that a real
+// disk would lose, or vice versa), every recovery test above it proves
+// nothing. So the model itself is pinned here: volatile-until-sync,
+// crash() semantics, the three fault kinds (crash-before, torn write,
+// EIO), fire-once disarm — plus a RealStorage smoke test over the same
+// interface in a temp directory.
+#include "util/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace kcore::util {
+namespace {
+
+// --- durability model -------------------------------------------------------
+
+TEST(MemStorage, WriteIsVolatileUntilSync) {
+  MemStorage fs;
+  fs.write_file("a", "hello");
+  EXPECT_EQ(fs.read_file("a"), "hello");
+  fs.crash();
+  // Never synced: the file's very directory entry is gone.
+  EXPECT_FALSE(fs.exists("a"));
+
+  fs.write_file("b", "world");
+  fs.sync_file("b");
+  fs.crash();
+  EXPECT_EQ(fs.read_file("b"), "world");
+}
+
+TEST(MemStorage, CrashDropsUnsyncedAppendTail) {
+  MemStorage fs;
+  fs.write_file("log", "AAAA");
+  fs.sync_file("log");
+  fs.append_file("log", "BBBB");
+  EXPECT_EQ(fs.read_file("log"), "AAAABBBB");
+  fs.crash();
+  // Only the synced prefix survives — exactly what the WAL's torn-tail
+  // scan has to cope with.
+  EXPECT_EQ(fs.read_file("log"), "AAAA");
+}
+
+TEST(MemStorage, RewriteMakesContentsVolatileAgain) {
+  MemStorage fs;
+  fs.write_file("f", "old");
+  fs.sync_file("f");
+  fs.write_file("f", "new-longer");
+  fs.crash();
+  // The entry was durable but the rewritten bytes were not: an empty
+  // file remains (durable_size reset by the truncating write).
+  EXPECT_TRUE(fs.exists("f"));
+  EXPECT_EQ(fs.read_file("f"), "");
+}
+
+TEST(MemStorage, RenameIsAtomicAndDurable) {
+  MemStorage fs;
+  fs.write_file("ckpt.tmp", "state");
+  fs.sync_file("ckpt.tmp");
+  fs.rename_file("ckpt.tmp", "ckpt");
+  fs.crash();
+  EXPECT_FALSE(fs.exists("ckpt.tmp"));
+  EXPECT_EQ(fs.read_file("ckpt"), "state");
+}
+
+TEST(MemStorage, TruncateClampsDurableSize) {
+  MemStorage fs;
+  fs.write_file("f", "0123456789");
+  fs.sync_file("f");
+  fs.truncate_file("f", 4);
+  fs.crash();
+  EXPECT_EQ(fs.read_file("f"), "0123");
+}
+
+TEST(MemStorage, ListDirSeesFilesAndSubdirsOneLevelDeep) {
+  MemStorage fs;
+  fs.make_dir("state");
+  fs.write_file("state/wal.log", "x");
+  fs.write_file("state/checkpoint-1.ckpt", "y");
+  fs.write_file("state/sub/nested", "z");
+  fs.make_dir("state/sub");
+  auto names = fs.list_dir("state");
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"checkpoint-1.ckpt", "sub",
+                                             "wal.log"}));
+  EXPECT_TRUE(fs.list_dir("nonexistent").empty());
+}
+
+TEST(MemStorage, MissingFileOperationsThrowIoError) {
+  MemStorage fs;
+  EXPECT_THROW(fs.read_file("nope"), IoError);
+  EXPECT_THROW(fs.file_size("nope"), IoError);
+  EXPECT_THROW(fs.sync_file("nope"), IoError);
+  EXPECT_THROW(fs.rename_file("nope", "x"), IoError);
+  EXPECT_THROW(fs.truncate_file("nope", 0), IoError);
+  EXPECT_THROW(fs.remove_file("nope"), IoError);
+}
+
+// --- fault plans ------------------------------------------------------------
+
+TEST(MemStorage, CrashBeforeFaultFiresOnceThenDisarms) {
+  MemStorage fs;
+  fs.write_file("a", "1");  // op 0
+  const std::uint64_t next = fs.op_count();
+  fs.set_fault({FaultPlan::Kind::kCrashBefore, next});
+  EXPECT_THROW(fs.write_file("b", "2"), CrashPoint);
+  EXPECT_TRUE(fs.crashed());
+  // "b" never happened; "a" was volatile, so it is gone too.
+  EXPECT_FALSE(fs.exists("b"));
+  EXPECT_FALSE(fs.exists("a"));
+  // Disarmed: recovery code running on the same storage is healthy.
+  fs.write_file("c", "3");
+  fs.sync_file("c");
+  EXPECT_EQ(fs.read_file("c"), "3");
+}
+
+TEST(MemStorage, TornWritePersistsTheFrontHalfDurably) {
+  MemStorage fs;
+  fs.set_fault({FaultPlan::Kind::kTorn, fs.op_count()});
+  EXPECT_THROW(fs.append_file("log", "ABCDEFGH"), CrashPoint);
+  // Half the payload reached the platter before the power cut — the
+  // case the WAL's CRC frame exists to catch.
+  EXPECT_EQ(fs.read_file("log"), "ABCD");
+  fs.crash();
+  EXPECT_EQ(fs.read_file("log"), "ABCD");
+}
+
+TEST(MemStorage, TornFaultOnAReadOpIsAPlainCrash) {
+  MemStorage fs;
+  fs.write_file("f", "x");
+  fs.sync_file("f");
+  fs.set_fault({FaultPlan::Kind::kTorn, fs.op_count()});
+  EXPECT_THROW(fs.exists("f"), CrashPoint);
+  EXPECT_TRUE(fs.crashed());
+  EXPECT_EQ(fs.read_file("f"), "x");
+}
+
+TEST(MemStorage, FailFaultThrowsIoErrorWithoutCrashing) {
+  MemStorage fs;
+  fs.write_file("f", "data");
+  fs.sync_file("f");
+  fs.set_fault({FaultPlan::Kind::kFail, fs.op_count()});
+  EXPECT_THROW(fs.append_file("f", "more"), IoError);
+  EXPECT_FALSE(fs.crashed());
+  // EIO failed the op before it did anything; state is intact and the
+  // plan has disarmed.
+  EXPECT_EQ(fs.read_file("f"), "data");
+  fs.append_file("f", "more");
+  EXPECT_EQ(fs.read_file("f"), "datamore");
+}
+
+TEST(MemStorage, EveryCallCountsOneOp) {
+  MemStorage fs;
+  const std::uint64_t start = fs.op_count();
+  fs.write_file("f", "x");  // 1
+  fs.sync_file("f");        // 2
+  fs.exists("f");           // 3 — reads count too: a crash can land
+  fs.read_file("f");        // 4   between ANY two calls
+  EXPECT_EQ(fs.op_count(), start + 4);
+}
+
+// --- RealStorage smoke (same interface, real files) -------------------------
+
+TEST(RealStorage, RoundTripsThroughATempDir) {
+  Storage& fs = real_storage();
+  const std::string dir = ::testing::TempDir() + "/kcore_storage_smoke";
+  fs.make_dir(dir + "/nested");
+  EXPECT_TRUE(fs.exists(dir + "/nested"));
+
+  const std::string path = dir + "/file.bin";
+  fs.write_file(path, "hello ");
+  fs.append_file(path, "world");
+  fs.sync_file(path);
+  EXPECT_EQ(fs.read_file(path), "hello world");
+  EXPECT_EQ(fs.file_size(path), 11U);
+
+  fs.truncate_file(path, 5);
+  EXPECT_EQ(fs.read_file(path), "hello");
+
+  const std::string renamed = dir + "/renamed.bin";
+  fs.rename_file(path, renamed);
+  EXPECT_FALSE(fs.exists(path));
+  EXPECT_TRUE(fs.exists(renamed));
+
+  auto names = fs.list_dir(dir);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"nested", "renamed.bin"}));
+
+  fs.remove_file(renamed);
+  EXPECT_FALSE(fs.exists(renamed));
+  EXPECT_THROW(fs.read_file(renamed), IoError);
+}
+
+}  // namespace
+}  // namespace kcore::util

@@ -11,7 +11,8 @@
 //              [run options]
 //   generate   --family NAME [--n N] [--seed S] [--output FILE] [...]
 //   stream     --input FILE --updates FILE [--window W] [--verify]
-//              [run options] [--json]
+//              [--wal DIR [--recover]] [--fsync POLICY]
+//              [--checkpoint-every N] [run options] [--json]
 //   stats      --input FILE
 //   dot        --input FILE [--output FILE] [--max-nodes N]
 //   profiles   (list the built-in paper dataset profiles)
@@ -36,8 +37,10 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "api/api.h"
 #include "api/cli_options.h"
@@ -88,6 +91,20 @@ int usage() {
                "windows; 0 = per timestamp)\n"
             << "            [--verify]     (check every epoch against a "
                "from-scratch bz run)\n"
+            << "            [--wal DIR]    (durable: write-ahead log + "
+               "checkpoints in DIR)\n"
+            << "            [--fsync every-batch|every-n|none] "
+               "[--fsync-every N]\n"
+            << "            [--checkpoint-every N] [--keep-checkpoints N]\n"
+            << "            [--recover]    (restart from DIR's newest "
+               "checkpoint + WAL tail;\n"
+            << "                            --input not needed; resumes "
+               "--updates where it left\n"
+            << "                            off — use the SAME --window "
+               "as the original run)\n"
+            << "            [--provisional-deadline MS] (publish sound "
+               "upper-bound snapshots\n"
+            << "                            when a repair overruns MS)\n"
             << "            [run options] [--json]  (NDJSON: one object "
                "per batch)\n"
             << "  generate  --family "
@@ -553,7 +570,6 @@ int cmd_sweep(const util::Args& args) {
 }
 
 int cmd_stream(const util::Args& args) {
-  const graph::Graph g = load(args);
   const auto updates_path = args.get("updates");
   KCORE_CHECK_MSG(updates_path.has_value(), "--updates FILE is required");
   const graph::EdgeStream stream =
@@ -563,6 +579,7 @@ int cmd_stream(const util::Args& args) {
   const live::UpdateLog log = live::UpdateLog::from_stream(stream, window);
   const bool verify = args.has("verify");
   const bool json = args.has("json");
+  const bool recover = args.has("recover");
 
   const auto run = api::run_options_from_args(args);
   live::ServiceOptions options;
@@ -570,36 +587,126 @@ int cmd_stream(const util::Args& args) {
   options.sched = run.sched;
   options.targeted_send = run.targeted_send;
   options.metrics = run.obs.metrics;
-  live::Service service(g, options);
+  options.provisional_deadline_ms =
+      static_cast<std::uint64_t>(args.get_int("provisional-deadline", 0));
+
+  // --wal DIR turns on durability (--checkpoint-dir is a synonym).
+  live::DurabilityOptions durability;
+  if (const auto dir = args.get("wal")) durability.dir = *dir;
+  if (const auto dir = args.get("checkpoint-dir")) durability.dir = *dir;
+  durability.fsync =
+      live::parse_fsync_policy(args.get_string("fsync", "every-batch"));
+  durability.fsync_every =
+      static_cast<unsigned>(args.get_int("fsync-every", 8));
+  durability.checkpoint_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 64));
+  durability.keep_checkpoints =
+      static_cast<unsigned>(args.get_int("keep-checkpoints", 2));
+  if (recover && durability.dir.empty()) {
+    throw util::IoError(
+        "--recover needs --wal DIR (the state directory to recover from)");
+  }
+
+  // --recover rebuilds topology + coreness from the state directory, so
+  // --input is not needed; a fresh run loads the base graph from --input.
+  std::unique_ptr<live::Service> service;
+  live::RecoveryInfo recovery;
+  std::size_t first_batch = 0;
+  if (recover) {
+    service = live::Service::open(options, durability, &recovery);
+    // Epochs count applies: batch i publishes epoch i+1, so the last
+    // recovered epoch IS the number of stream batches already applied.
+    // Resuming there (not at 0) is required for correctness: re-applying
+    // an already-applied prefix would undo later inserts' removes.
+    first_batch = static_cast<std::size_t>(recovery.recovered_epoch);
+  } else {
+    const graph::Graph g = load(args);
+    service = durability.dir.empty()
+                  ? std::make_unique<live::Service>(g, options)
+                  : std::make_unique<live::Service>(g, options, durability);
+  }
+  const bool durable = service->durable();
+
+  std::uint64_t mismatched_epochs = 0;
+  if (recover && verify) {
+    // Pin the recovered state itself before touching the stream again.
+    const auto expected = seq::coreness_bz(service->graph().snapshot());
+    if (service->query()->coreness != expected) ++mismatched_epochs;
+  }
 
   if (!json) {
-    std::cout << "graph: " << g.num_nodes() << " nodes, " << g.num_edges()
-              << " edges; stream: " << stream.events.size() << " events in "
-              << log.num_batches() << " batches (window "
+    const auto snapshot = service->query();
+    std::cout << "graph: " << snapshot->num_nodes << " nodes, "
+              << snapshot->num_edges << " edges; stream: "
+              << stream.events.size() << " events in " << log.num_batches()
+              << " batches (window "
               << (window == 0 ? std::string("per-timestamp")
                               : std::to_string(window))
               << ")\n"
-              << "service: threads=" << service.workers()
-              << " sched=" << api::to_string(options.sched)
-              << "; initial convergence: "
-              << service.initial_stats().relaxations << " relaxations, "
-              << util::fmt_double(service.initial_stats().repair_ms, 1)
-              << " ms\n\n";
+              << "service: threads=" << service->workers()
+              << " sched=" << api::to_string(options.sched);
+    if (durable) {
+      std::cout << " wal=" << durability.dir
+                << " fsync=" << live::to_string(durability.fsync)
+                << " checkpoint-every=" << durability.checkpoint_every;
+    }
+    if (recover) {
+      std::cout << "\nrecovered: epoch " << recovery.recovered_epoch
+                << " (checkpoint " << recovery.checkpoint_file << " @ epoch "
+                << recovery.checkpoint_epoch << ", "
+                << recovery.replayed_batches << " WAL batches replayed, "
+                << recovery.replay_relaxations << " relaxations";
+      if (recovery.skipped_duplicate_batches > 0) {
+        std::cout << ", " << recovery.skipped_duplicate_batches
+                  << " duplicates skipped";
+      }
+      if (recovery.torn_bytes_truncated > 0) {
+        std::cout << ", " << recovery.torn_bytes_truncated
+                  << " torn bytes truncated";
+      }
+      std::cout << "); resuming at batch " << first_batch << "\n";
+      if (verify) {
+        std::cout << "verify: recovered snapshot "
+                  << (mismatched_epochs == 0 ? "matches" : "MISMATCHES")
+                  << " a from-scratch bz decomposition\n";
+      }
+    } else {
+      std::cout << "; initial convergence: "
+                << service->initial_stats().relaxations << " relaxations, "
+                << util::fmt_double(service->initial_stats().repair_ms, 1)
+                << " ms";
+    }
+    std::cout << "\n\n";
+    if (first_batch >= log.num_batches() && log.num_batches() > 0) {
+      std::cout << "stream already fully applied (" << log.num_batches()
+                << " batches <= recovered epoch); nothing to do\n";
+    }
   }
 
-  util::TableWriter table({"batch", "events", "+ins", "-rem", "ignored",
-                           "rejected", "seeded", "raised", "relax", "steals",
-                           "ms", "epoch"});
+  std::vector<std::string> columns = {"batch", "events", "+ins", "-rem",
+                                      "ignored", "rejected", "seeded",
+                                      "raised", "relax", "steals", "ms",
+                                      "epoch"};
+  if (durable) {
+    columns.push_back("walB");
+    columns.push_back("ckpt");
+  }
+  util::TableWriter table(columns);
   std::uint64_t total_relax = 0;
-  std::uint64_t mismatched_epochs = 0;
-  for (std::size_t i = 0; i < log.num_batches(); ++i) {
+  std::uint64_t total_wal_bytes = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_failures = 0;
+  for (std::size_t i = first_batch; i < log.num_batches(); ++i) {
     const auto batch = log.batch(i);
-    const live::ApplyResult result = service.apply(batch);
+    const live::ApplyResult result = service->apply(batch);
     total_relax += result.repair.relaxations;
+    total_wal_bytes += result.wal_bytes;
+    if (result.checkpointed) ++checkpoints;
+    if (result.checkpoint_failed) ++checkpoint_failures;
     bool exact = true;
     if (verify) {
-      const auto expected = seq::coreness_bz(service.graph().snapshot());
-      exact = service.query()->coreness == expected;
+      const auto expected = seq::coreness_bz(service->graph().snapshot());
+      exact = service->query()->coreness == expected;
       if (!exact) ++mismatched_epochs;
     }
     if (json) {
@@ -617,26 +724,47 @@ int cmd_stream(const util::Args& args) {
       w.member("steals", result.repair.steals);
       w.member("repair_ms", result.repair.repair_ms, 3);
       w.member("epoch", result.epoch);
+      if (durable) {
+        w.member("wal_bytes", result.wal_bytes);
+        w.member("checkpointed", result.checkpointed);
+        if (result.checkpoint_failed) w.member("checkpoint_failed", true);
+      }
+      if (result.provisional_publishes > 0) {
+        w.member("provisional_publishes", result.provisional_publishes);
+      }
       if (verify) w.member("exact", exact);
       w.end_object();
       std::cout << "\n";
     } else {
-      table.add_row({std::to_string(i), std::to_string(batch.size()),
-                     std::to_string(result.applied_inserts),
-                     std::to_string(result.applied_removes),
-                     std::to_string(result.ignored_updates),
-                     std::to_string(result.rejected_updates),
-                     std::to_string(result.repair.seeded),
-                     std::to_string(result.repair.raised),
-                     std::to_string(result.repair.relaxations),
-                     std::to_string(result.repair.steals),
-                     util::fmt_double(result.repair.repair_ms, 2),
-                     std::to_string(result.epoch)});
+      std::vector<std::string> row = {
+          std::to_string(i), std::to_string(batch.size()),
+          std::to_string(result.applied_inserts),
+          std::to_string(result.applied_removes),
+          std::to_string(result.ignored_updates),
+          std::to_string(result.rejected_updates),
+          std::to_string(result.repair.seeded),
+          std::to_string(result.repair.raised),
+          std::to_string(result.repair.relaxations),
+          std::to_string(result.repair.steals),
+          util::fmt_double(result.repair.repair_ms, 2),
+          std::to_string(result.epoch)};
+      if (durable) {
+        row.push_back(std::to_string(result.wal_bytes));
+        row.push_back(result.checkpoint_failed ? "FAIL"
+                      : result.checkpointed    ? "yes"
+                                               : "");
+      }
+      table.add_row(std::move(row));
     }
+  }
+  if (durable) {
+    // Leave the directory recoverable at the exact final epoch: one last
+    // checkpoint so a follow-up --recover replays nothing.
+    service->checkpoint();
   }
   if (!json) {
     table.print(std::cout);
-    const auto snapshot = service.query();
+    const auto snapshot = service->query();
     std::cout << "\nfinal: epoch " << snapshot->epoch << ", "
               << snapshot->num_edges << " edges, kmax "
               << (snapshot->coreness.empty()
@@ -645,6 +773,15 @@ int cmd_stream(const util::Args& args) {
                                           snapshot->coreness.end()))
               << ", " << total_relax
               << " incremental relaxations across the stream\n";
+    if (durable) {
+      std::cout << "durability: " << total_wal_bytes << " WAL bytes, "
+                << checkpoints << " cadence checkpoints + 1 final";
+      if (checkpoint_failures > 0) {
+        std::cout << ", " << checkpoint_failures
+                  << " checkpoint FAILURES (WAL still has the data)";
+      }
+      std::cout << "\n";
+    }
     if (verify) {
       std::cout << (mismatched_epochs == 0
                         ? "verify: every epoch matches a from-scratch bz "
@@ -687,6 +824,12 @@ int main(int argc, char** argv) {
       std::cerr << "warning: unused option --" << name << "\n";
     }
     return rc;
+  } catch (const util::IoError& e) {
+    // Environmental failures (unreadable input, malformed stream lines,
+    // unrecoverable state directories) are the user's to fix: one
+    // actionable line, no CheckError context stack.
+    std::cerr << "kcore: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
